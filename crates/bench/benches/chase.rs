@@ -1,0 +1,49 @@
+//! EXP-THM1 — the chase (Theorem 1): entity-resolution fixpoints on the
+//! music workload, scaling in the number of duplicate clusters; the
+//! Theorem 1 bounds are asserted on every run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ged_core::chase::chase;
+use ged_datagen::music::{generate, MusicConfig};
+use ged_datagen::rules::music_keys;
+
+fn bench_entity_resolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase/entity-resolution");
+    group.sample_size(10);
+    let keys = music_keys();
+    for dupes in [2usize, 5, 10, 20] {
+        let inst = generate(&MusicConfig {
+            n_clean: 20,
+            n_dupes: dupes,
+            seed: 1,
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(dupes), &inst.graph, |b, g| {
+            b.iter(|| {
+                let r = chase(g, &keys);
+                assert!(r.stats().within_bounds(), "Theorem 1 bounds");
+                r.is_consistent()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_chase_graph_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase/clean-graph-size");
+    group.sample_size(10);
+    let keys = music_keys();
+    for clean in [20usize, 40, 80] {
+        let inst = generate(&MusicConfig {
+            n_clean: clean,
+            n_dupes: 3,
+            seed: 2,
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(clean), &inst.graph, |b, g| {
+            b.iter(|| chase(g, &keys).is_consistent())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_entity_resolution, bench_chase_graph_size);
+criterion_main!(benches);

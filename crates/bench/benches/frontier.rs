@@ -1,0 +1,27 @@
+//! EXP-T1-FRONTIER — the Section 5.3 tractability frontier: with pattern
+//! size bounded by k, validation is PTIME in |G| (compare the growth rates
+//! across the k-series); unbounded k is exponential.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ged_bench::validation_workload;
+use ged_core::reason::Validator;
+
+fn bench_bounded_fragment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontier/bounded-k");
+    group.sample_size(10);
+    for k in [2usize, 3, 4] {
+        for n in [100usize, 200] {
+            let w = validation_workload(n, k, 3, 13);
+            let v = Validator::new(w.sigma.clone(), k + 2);
+            group.bench_with_input(
+                BenchmarkId::new(format!("k{k}"), n),
+                &(v, w.graph.clone()),
+                |b, (v, g)| b.iter(|| v.validate_bounded(g, Some(1)).satisfied()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounded_fragment);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! EXP-T1-IMP — implication (Table 1, Theorem 5): NP-hard via the
+//! 3-colorability reduction even for a single GFDx; chain workloads show
+//! the chase cost growth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ged_bench::chain_implication;
+use ged_core::reason::implies;
+use ged_datagen::coloring::{implication_gfdx, implication_gkey, ColoringInstance};
+
+fn bench_gfdx_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("implication/gfdx-3col");
+    group.sample_size(10);
+    for n in [3usize, 4, 5, 6] {
+        let inst = ColoringInstance::cycle(n);
+        let (sigma, goal) = implication_gfdx(&inst);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(sigma, goal), |b, (s, g)| {
+            b.iter(|| implies(s, g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gkey_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("implication/gkey-3col");
+    group.sample_size(10);
+    for n in [3usize, 4, 5] {
+        let inst = ColoringInstance::cycle(n);
+        let (sigma, goal) = implication_gkey(&inst);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(sigma, goal), |b, (s, g)| {
+            b.iter(|| implies(s, g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("implication/chain");
+    group.sample_size(10);
+    for len in [4usize, 8, 16] {
+        let (sigma, goal) = chain_implication(len);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &(sigma, goal), |b, (s, g)| {
+            b.iter(|| implies(s, g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gfdx_reduction, bench_gkey_reduction, bench_chain);
+criterion_main!(benches);

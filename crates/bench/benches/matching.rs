@@ -1,0 +1,60 @@
+//! EXP-ABL-MATCH — the matcher ablation: homomorphism vs subgraph
+//! isomorphism semantics, and the ordering/adjacency heuristics on/off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ged_datagen::random::{random_graph, random_pattern, RandomGraphConfig};
+use ged_pattern::{count, MatchOptions, Semantics};
+
+fn bench_semantics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching/semantics");
+    group.sample_size(10);
+    let cfg = RandomGraphConfig {
+        n_nodes: 150,
+        n_edges: 450,
+        ..Default::default()
+    };
+    let g = random_graph(&cfg);
+    for k in [3usize, 4] {
+        let q = random_pattern(k, &cfg, 99);
+        for (name, sem) in [("homo", Semantics::Homomorphism), ("iso", Semantics::Isomorphism)] {
+            let opts = MatchOptions { semantics: sem, ..MatchOptions::default() };
+            group.bench_with_input(
+                BenchmarkId::new(name, k),
+                &(q.clone(), opts),
+                |b, (q, opts)| b.iter(|| count(q, &g, *opts)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching/heuristics");
+    group.sample_size(10);
+    let cfg = RandomGraphConfig {
+        n_nodes: 150,
+        n_edges: 450,
+        ..Default::default()
+    };
+    let g = random_graph(&cfg);
+    let q = random_pattern(4, &cfg, 5);
+    for (name, smart, adj) in [
+        ("both", true, true),
+        ("order-only", true, false),
+        ("adjacency-only", false, true),
+        ("neither", false, false),
+    ] {
+        let opts = MatchOptions {
+            semantics: Semantics::Homomorphism,
+            smart_order: smart,
+            adjacency_candidates: adj,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, opts| {
+            b.iter(|| count(&q, &g, *opts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_semantics, bench_heuristics);
+criterion_main!(benches);

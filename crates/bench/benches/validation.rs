@@ -1,0 +1,33 @@
+//! EXP-T1-VAL — validation scaling (Table 1 row "Validation", Theorem 6):
+//! polynomial in |G| at fixed pattern size, exponential in pattern size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ged_bench::validation_workload;
+use ged_core::reason::validate;
+
+fn bench_validation_vs_graph_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("validation/graph-size");
+    group.sample_size(10);
+    for n in [100usize, 200, 400] {
+        let w = validation_workload(n, 3, 2, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| validate(&w.graph, &w.sigma, Some(1)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_validation_vs_pattern_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("validation/pattern-size");
+    group.sample_size(10);
+    for k in [2usize, 3, 4, 5] {
+        let w = validation_workload(150, k, 3, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &w, |b, w| {
+            b.iter(|| validate(&w.graph, &w.sigma, Some(1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_validation_vs_graph_size, bench_validation_vs_pattern_size);
+criterion_main!(benches);

@@ -1,0 +1,703 @@
+//! The experiments harness: regenerates every table/figure of the paper
+//! as text rows (the per-experiment index lives in DESIGN.md §3; the
+//! measured results are recorded in EXPERIMENTS.md).
+//!
+//! Run with `cargo run -p ged-bench --release --bin experiments`.
+
+use ged_bench::{chain_implication, timed, timed_median, us, validation_workload};
+use ged_core::axiom::completeness::prove;
+use ged_core::axiom::derived::{prove_augmentation, prove_transitivity};
+use ged_core::chase::{chase, chase_random, ChaseResult};
+use ged_core::ged::Ged;
+use ged_core::literal::Literal;
+use ged_core::reason::{implies, is_satisfiable, validate, Validator};
+use ged_datagen::coloring::{
+    implication_gfdx, implication_gkey, is_3_colorable, satisfiability_gfd, satisfiability_gkey,
+    validation_gfdx, validation_gkey, ColoringInstance,
+};
+use ged_datagen::kb::{generate as gen_kb, KbConfig};
+use ged_datagen::music::{generate as gen_music, MusicConfig};
+use ged_datagen::rules;
+use ged_datagen::social::{generate as gen_social, spam_cascade, SocialConfig};
+use ged_ext::domain::{domain_as_disj, domain_as_gdcs};
+use ged_ext::reason::{disj_satisfiable, gdc_satisfiable};
+use ged_graph::{sym, Value};
+use ged_pattern::{fragments, parse_pattern, Var};
+
+fn header(id: &str, title: &str) {
+    println!();
+    println!("== {id} — {title}");
+    println!("{}", "-".repeat(72));
+}
+
+fn main() {
+    println!("GED reproduction — experiments harness");
+    println!("Paper: Dependencies for Graphs (Fan & Lu, PODS 2017)");
+
+    exp_t1_sat();
+    exp_t1_imp();
+    exp_t1_val();
+    exp_t1_frontier();
+    exp_t1_ext();
+    exp_thm1();
+    exp_fig2();
+    exp_fig3();
+    exp_fig4();
+    exp_tab2();
+    exp_ex1_3();
+    exp_ex9_10();
+    exp_abl_match();
+    exp_parallel();
+
+    println!();
+    println!("All experiment sections completed.");
+}
+
+/// Instances used across the Table 1 hardness rows.
+fn coloring_suite() -> Vec<(String, ColoringInstance)> {
+    let mut v = vec![
+        ("K3".to_string(), ColoringInstance::complete(3)),
+        ("K4".to_string(), ColoringInstance::complete(4)),
+        ("C4".to_string(), ColoringInstance::cycle(4)),
+        ("C5".to_string(), ColoringInstance::cycle(5)),
+        ("C6".to_string(), ColoringInstance::cycle(6)),
+    ];
+    for seed in 0..2 {
+        v.push((
+            format!("rand5+{seed}"),
+            ColoringInstance::random(5, 4, seed),
+        ));
+    }
+    v
+}
+
+fn exp_t1_sat() {
+    header(
+        "EXP-T1-SAT",
+        "Table 1, satisfiability: coNP-c (GED/GFD/GKey/GEDx), O(1) (GFDx)",
+    );
+    println!(
+        "{:<10} {:>6} | {:>9} {:>12} | {:>9} {:>12}",
+        "instance", "3col?", "GFD sat?", "GFD µs", "GKey sat?", "GKey µs"
+    );
+    for (name, inst) in coloring_suite() {
+        let colorable = is_3_colorable(&inst);
+        let sigma_gfd = satisfiability_gfd(&inst);
+        let (sat_gfd, d_gfd) = timed(|| is_satisfiable(&sigma_gfd));
+        let sigma_gkey = satisfiability_gkey(&inst);
+        let (sat_gkey, d_gkey) = timed(|| is_satisfiable(&sigma_gkey));
+        assert_eq!(sat_gfd, !colorable, "GFD reduction must match the oracle");
+        assert_eq!(sat_gkey, !colorable, "GKey reduction must match the oracle");
+        println!(
+            "{:<10} {:>6} | {:>9} {:>12} | {:>9} {:>12}",
+            name,
+            colorable,
+            sat_gfd,
+            us(d_gfd),
+            sat_gkey,
+            us(d_gkey)
+        );
+    }
+    println!("(satisfiable ⟺ NOT 3-colorable on every row — the Theorem 3 reduction)");
+    // GFDx O(1): decision time independent of |Σ|.
+    let q = || parse_pattern("t(x); t(y)").unwrap();
+    for count in [4usize, 64, 1024] {
+        let sigma: Vec<Ged> = (0..count)
+            .map(|i| {
+                Ged::new(
+                    format!("g{i}"),
+                    q(),
+                    vec![Literal::vars(Var(0), sym("A"), Var(1), sym("A"))],
+                    vec![Literal::vars(Var(0), sym("B"), Var(1), sym("B"))],
+                )
+            })
+            .collect();
+        let (t, d) = timed(|| ged_core::reason::is_trivially_satisfiable(&sigma));
+        println!(
+            "GFDx set |Σ|={count:>5}: trivially satisfiable = {t:?} in {} µs",
+            us(d)
+        );
+    }
+}
+
+fn exp_t1_imp() {
+    header("EXP-T1-IMP", "Table 1, implication: NP-c for all five classes");
+    println!(
+        "{:<10} {:>6} | {:>10} {:>12} | {:>10} {:>12}",
+        "instance", "3col?", "GFDx ⊨?", "GFDx µs", "GKey ⊨?", "GKey µs"
+    );
+    for (name, inst) in coloring_suite() {
+        let colorable = is_3_colorable(&inst);
+        let (s1, g1) = implication_gfdx(&inst);
+        let (i1, d1) = timed(|| implies(&s1, &g1));
+        let (s2, g2) = implication_gkey(&inst);
+        let (i2, d2) = timed(|| implies(&s2, &g2));
+        assert_eq!(i1, colorable);
+        assert_eq!(i2, colorable);
+        println!(
+            "{:<10} {:>6} | {:>10} {:>12} | {:>10} {:>12}",
+            name,
+            colorable,
+            i1,
+            us(d1),
+            i2,
+            us(d2)
+        );
+    }
+    println!("(Σ ⊨ ϕ ⟺ 3-colorable on every row — the Theorem 5 reduction)");
+    println!("\nchain implication (chase cost vs |Σ|):");
+    for len in [4usize, 8, 16, 32] {
+        let (sigma, goal) = chain_implication(len);
+        let (holds, d) = timed_median(3, || implies(&sigma, &goal));
+        assert!(holds);
+        println!("  |Σ| = {len:>3}: {} µs", us(d));
+    }
+}
+
+fn exp_t1_val() {
+    header(
+        "EXP-T1-VAL",
+        "Table 1, validation: coNP-c; polynomial in |G| at fixed k",
+    );
+    println!("hardness instances (single GFDx / single GKey on K3):");
+    for (name, inst) in coloring_suite() {
+        let colorable = is_3_colorable(&inst);
+        let (g1, phi) = validation_gfdx(&inst);
+        let (v1, d1) = timed(|| validate(&g1, std::slice::from_ref(&phi), Some(1)).satisfied());
+        let (g2, psi) = validation_gkey(&inst);
+        let (v2, d2) = timed(|| validate(&g2, std::slice::from_ref(&psi), Some(1)).satisfied());
+        assert_eq!(v1, !colorable);
+        assert_eq!(v2, !colorable);
+        println!(
+            "  {:<10} 3col={:<5} GFDx: K3⊨φ={:<5} ({:>9} µs)   GKey: K3⊨ψ={:<5} ({:>9} µs)",
+            name,
+            colorable,
+            v1,
+            us(d1),
+            v2,
+            us(d2)
+        );
+    }
+    println!("\nscaling in |G| (pattern size 3, planted violations):");
+    for n in [100usize, 200, 400, 800] {
+        let w = validation_workload(n, 3, 2, 7);
+        let (sat, d) = timed_median(3, || validate(&w.graph, &w.sigma, Some(1)).satisfied());
+        println!("  |V| = {n:>4}: satisfied={sat}  {} µs", us(d));
+    }
+}
+
+fn exp_t1_frontier() {
+    header(
+        "EXP-T1-FRONTIER",
+        "Section 5.3: bounded pattern size ⇒ PTIME; growth in k is exponential",
+    );
+    println!("validation time, |G| fixed at 200 nodes, pattern size k varies:");
+    for k in [2usize, 3, 4, 5] {
+        let w = validation_workload(200, k, 3, 13);
+        let (_, d) = timed_median(3, || validate(&w.graph, &w.sigma, Some(1)).satisfied());
+        println!("  k = {k}: {} µs", us(d));
+    }
+    println!("\nvalidation time, k fixed at 3, |G| varies (polynomial growth):");
+    for n in [100usize, 200, 400, 800] {
+        let w = validation_workload(n, 3, 3, 13);
+        let v = Validator::new(w.sigma.clone(), 5);
+        let (_, d) = timed_median(3, || v.validate_bounded(&w.graph, Some(1)).satisfied());
+        println!("  |V| = {n:>4}: {} µs", us(d));
+    }
+}
+
+fn exp_t1_ext() {
+    header(
+        "EXP-T1-EXT",
+        "Table 1, GDC/GED∨ rows: Σp2/Πp2 reasoning, coNP validation",
+    );
+    let dom = [Value::from(0), Value::from(1)];
+    let (phi1, phi2) = domain_as_gdcs("τ", "A", &dom);
+    let (sat, d) = timed(|| gdc_satisfiable(&[phi1.clone(), phi2.clone()]));
+    println!("Example 9 GDC pair satisfiable: {sat} ({} µs)", us(d));
+    let psi = domain_as_disj("τ", "A", &dom);
+    let (sat, d) = timed(|| disj_satisfiable(std::slice::from_ref(&psi)));
+    println!("Example 10 GED∨ satisfiable:    {sat} ({} µs)", us(d));
+    // The Σp2 cost gap: GED satisfiability (chase, coNP) vs GDC bounded
+    // search on the *same* equality-only constraints.
+    println!("\nequality-only instances — chase (GED) vs bounded search (GDC):");
+    for n in [1usize, 2] {
+        let inst = ColoringInstance::cycle(n + 2);
+        let sigma = satisfiability_gfd(&inst);
+        let (_, d_ged) = timed(|| is_satisfiable(&sigma));
+        let gdcs: Vec<_> = sigma.iter().map(ged_ext::gdc::Gdc::from_ged).collect();
+        let (_, d_gdc) = timed(|| gdc_satisfiable(&gdcs));
+        println!(
+            "  C{}: GED chase {} µs   GDC search {} µs   (gap ×{:.1})",
+            n + 2,
+            us(d_ged),
+            us(d_gdc),
+            d_gdc.as_secs_f64() / d_ged.as_secs_f64().max(1e-9)
+        );
+    }
+    println!("\nvalidation (coNP for both — same shape):");
+    let w = validation_workload(200, 3, 2, 7);
+    let gdcs: Vec<_> = w.sigma.iter().map(ged_ext::gdc::Gdc::from_ged).collect();
+    let (_, d_ged) = timed_median(3, || validate(&w.graph, &w.sigma, Some(1)).satisfied());
+    let (_, d_gdc) = timed_median(3, || ged_ext::gdc::gdc_satisfies_all(&w.graph, &gdcs));
+    println!("  |V|=200: GED {} µs   GDC {} µs", us(d_ged), us(d_gdc));
+}
+
+fn exp_thm1() {
+    header("EXP-THM1", "Theorem 1: chase finiteness, bounds, Church–Rosser");
+    println!(
+        "{:<18} {:>6} {:>7} {:>10} {:>10} {:>8}",
+        "workload", "steps", "bound", "|Eq|", "|Eq| bnd", "CR ok?"
+    );
+    for dupes in [2usize, 5, 10, 20] {
+        let inst = gen_music(&MusicConfig {
+            n_clean: 15,
+            n_dupes: dupes,
+            seed: 1,
+        });
+        let keys = rules::music_keys();
+        let result = chase(&inst.graph, &keys);
+        let stats = result.stats().clone();
+        assert!(stats.within_bounds());
+        // Church–Rosser: five random schedules agree with the
+        // deterministic one.
+        let reference = result.comparison_key();
+        let cr_ok = (1..=5)
+            .all(|seed| chase_random(&inst.graph, &keys, seed).comparison_key() == reference);
+        println!(
+            "{:<18} {:>6} {:>7} {:>10} {:>10} {:>8}",
+            format!("music d={dupes}"),
+            stats.steps,
+            stats.length_bound,
+            stats.eq_size,
+            stats.eq_size_bound,
+            cr_ok
+        );
+        assert!(cr_ok);
+    }
+}
+
+fn exp_fig2() {
+    header(
+        "EXP-FIG2",
+        "Figure 2 / Example 4: chase sequences, valid and invalid",
+    );
+    let (g, [v1, v2, v1p, v2p]) = fragments::fig2_graph();
+    let phi1 = {
+        let q = fragments::fig2_q1();
+        Ged::new(
+            "φ1",
+            q,
+            vec![Literal::vars(Var(0), sym("A"), Var(1), sym("A"))],
+            vec![Literal::id(Var(0), Var(1))],
+        )
+    };
+    let phi2 = {
+        let q = fragments::fig2_q2();
+        Ged::new("φ2", q, vec![], vec![Literal::id(Var(1), Var(2))])
+    };
+    match chase(&g, std::slice::from_ref(&phi1)) {
+        ChaseResult::Consistent { eq, coercion, .. } => {
+            println!(
+                "Σ1 = {{φ1}}: valid; v1,v2 merged = {}; v1',v2' distinct = {}; |G1| = {} nodes",
+                eq.node_eq(v1, v2),
+                !eq.node_eq(v1p, v2p),
+                coercion.graph.node_count()
+            );
+        }
+        ChaseResult::Inconsistent { .. } => unreachable!("paper: Σ1 chase is valid"),
+    }
+    match chase(&g, &[phi1, phi2]) {
+        ChaseResult::Inconsistent { conflict, .. } => {
+            println!("Σ2 = {{φ1, φ2}}: invalid (⊥), conflict: {conflict}");
+        }
+        ChaseResult::Consistent { .. } => unreachable!("paper: Σ2 chase is invalid"),
+    }
+}
+
+fn exp_fig3() {
+    header(
+        "EXP-FIG3",
+        "Figure 3 / Examples 5–6: satisfiability interaction",
+    );
+    let phi1 = Ged::new(
+        "φ1",
+        fragments::fig3_q1(),
+        vec![Literal::vars(Var(0), sym("A"), Var(0), sym("B"))],
+        vec![Literal::id(Var(1), Var(2))],
+    );
+    let q2 = fragments::fig3_q2();
+    let x1 = q2.var_by_name("x1").unwrap();
+    let phi2 = Ged::new(
+        "φ2",
+        q2,
+        vec![],
+        vec![Literal::vars(x1, sym("A"), x1, sym("B"))],
+    );
+    let q2p = fragments::fig3_q2_prime();
+    let x1p = q2p.var_by_name("x1").unwrap();
+    let phi2p = Ged::new(
+        "φ2'",
+        q2p,
+        vec![],
+        vec![Literal::vars(x1p, sym("A"), x1p, sym("B"))],
+    );
+    println!(
+        "φ1 alone satisfiable:        {}",
+        is_satisfiable(std::slice::from_ref(&phi1))
+    );
+    println!(
+        "φ2 alone satisfiable:        {}",
+        is_satisfiable(std::slice::from_ref(&phi2))
+    );
+    println!(
+        "Σ1 = {{φ1, φ2}} satisfiable:  {} (paper: no)",
+        is_satisfiable(&[phi1.clone(), phi2])
+    );
+    println!(
+        "Σ2 = {{φ1, φ2'}} satisfiable: {} (paper: no, despite non-homomorphic patterns)",
+        is_satisfiable(&[phi1, phi2p])
+    );
+    // The UoE GKey and the homomorphism-vs-isomorphism point.
+    let uoe = Ged::new(
+        "ϕ_UoE",
+        fragments::uoe_pattern(),
+        vec![],
+        vec![Literal::id(Var(0), Var(1))],
+    );
+    println!(
+        "UoE GKey satisfiable under homomorphism: {} (model = one UoE node)",
+        is_satisfiable(std::slice::from_ref(&uoe))
+    );
+    let single = {
+        let mut g = ged_graph::Graph::new();
+        g.add_node(sym("UoE"));
+        g
+    };
+    println!(
+        "  matches of the UoE pattern in that model: homo = {}, iso = {} (iso finds none → vacuous)",
+        ged_pattern::count(
+            &fragments::uoe_pattern(),
+            &single,
+            ged_pattern::MatchOptions::homomorphism()
+        ),
+        ged_pattern::count(
+            &fragments::uoe_pattern(),
+            &single,
+            ged_pattern::MatchOptions::isomorphism()
+        ),
+    );
+}
+
+fn exp_fig4() {
+    header(
+        "EXP-FIG4",
+        "Figure 4 / Example 7: implication with wildcard coercion",
+    );
+    let phi1 = Ged::new(
+        "φ1",
+        fragments::fig4_q1(),
+        vec![Literal::vars(Var(0), sym("A"), Var(1), sym("A"))],
+        vec![Literal::id(Var(0), Var(1))],
+    );
+    let phi2 = Ged::new(
+        "φ2",
+        fragments::fig4_q2(),
+        vec![Literal::vars(Var(0), sym("B"), Var(1), sym("B"))],
+        vec![Literal::vars(Var(0), sym("A"), Var(0), sym("B"))],
+    );
+    let phi = Ged::new(
+        "ϕ",
+        fragments::fig4_q(),
+        vec![
+            Literal::vars(Var(0), sym("A"), Var(2), sym("A")),
+            Literal::vars(Var(1), sym("B"), Var(3), sym("B")),
+        ],
+        vec![Literal::id(Var(0), Var(2)), Literal::id(Var(1), Var(3))],
+    );
+    let sigma = vec![phi1, phi2];
+    println!("Σ ⊨ ϕ: {} (paper: yes)", implies(&sigma, &phi));
+    println!(
+        "Σ\\{{φ1}} ⊨ ϕ: {} / Σ\\{{φ2}} ⊨ ϕ: {} (each alone insufficient)",
+        implies(&sigma[1..], &phi),
+        implies(&sigma[..1], &phi)
+    );
+}
+
+fn exp_tab2() {
+    header("EXP-TAB2", "Table 2 / Example 8: the axiom system A_GED");
+    let q = parse_pattern("t(x); t(y)").unwrap();
+    let lit = |a: &str| Literal::vars(Var(0), sym(a), Var(1), sym(a));
+    let phi_xy = Ged::new("φ", q.clone(), vec![lit("A")], vec![lit("B")]);
+    let phi_yz = Ged::new("φ'", q.clone(), vec![lit("B")], vec![lit("C")]);
+    let aug = prove_augmentation(&phi_xy, &[lit("Z")]).unwrap();
+    aug.check().unwrap();
+    println!(
+        "augmentation (Example 8b): {} steps, checked ✓",
+        aug.steps.len()
+    );
+    let trans = prove_transitivity(&phi_xy, &phi_yz).unwrap();
+    trans.check().unwrap();
+    println!(
+        "transitivity (Example 8c): {} steps, checked ✓",
+        trans.steps.len()
+    );
+    // Completeness: a chase-built proof for Example 7.
+    let phi1 = Ged::new(
+        "φ1",
+        fragments::fig4_q1(),
+        vec![Literal::vars(Var(0), sym("A"), Var(1), sym("A"))],
+        vec![Literal::id(Var(0), Var(1))],
+    );
+    let phi2 = Ged::new(
+        "φ2",
+        fragments::fig4_q2(),
+        vec![Literal::vars(Var(0), sym("B"), Var(1), sym("B"))],
+        vec![Literal::vars(Var(0), sym("A"), Var(0), sym("B"))],
+    );
+    let goal = Ged::new(
+        "ϕ",
+        fragments::fig4_q(),
+        vec![
+            Literal::vars(Var(0), sym("A"), Var(2), sym("A")),
+            Literal::vars(Var(1), sym("B"), Var(3), sym("B")),
+        ],
+        vec![Literal::id(Var(0), Var(2)), Literal::id(Var(1), Var(3))],
+    );
+    let (proof, d) = timed(|| prove(&[phi1, phi2], &goal).unwrap().expect("Σ ⊨ ϕ"));
+    proof.check().unwrap();
+    println!(
+        "completeness proof of Example 7: {} steps in {} µs; rules: GED1={} GED2={} GED4={} GED5={} GED6={}",
+        proof.steps.len(),
+        us(d),
+        proof.uses_rule("GED1"),
+        proof.uses_rule("GED2"),
+        proof.uses_rule("GED4"),
+        proof.uses_rule("GED5"),
+        proof.uses_rule("GED6"),
+    );
+    // Independence witness for GED5 (the paper's own example).
+    let q1 = parse_pattern("t(x)").unwrap();
+    let exfalso = Ged::new(
+        "φ",
+        q1,
+        vec![
+            Literal::constant(Var(0), sym("A"), 1),
+            Literal::constant(Var(0), sym("A"), 2),
+        ],
+        vec![Literal::constant(Var(0), sym("A"), 3)],
+    );
+    let p = prove(&[], &exfalso).unwrap().unwrap();
+    p.check().unwrap();
+    println!(
+        "independence witness for GED5 (Σ=∅, x.A=1 ∧ x.A=2 → x.A=3): proof uses GED5 = {}",
+        p.uses_rule("GED5")
+    );
+}
+
+fn exp_ex1_3() {
+    header(
+        "EXP-EX1",
+        "Examples 1 & 3: consistency, spam, entity resolution",
+    );
+    // Knowledge base.
+    let cfg = KbConfig::default();
+    let inst = gen_kb(&cfg);
+    let report = validate(&inst.graph, &rules::kb_rules(), None);
+    println!(
+        "KB: {} nodes, {} planted errors; violated rules: {:?}",
+        inst.graph.node_count(),
+        inst.planted.len(),
+        report.violated_names()
+    );
+    let expected = [
+        cfg.planted[0],
+        cfg.planted[1] * 2, // two symmetric matches per two-capital country
+        cfg.planted[2],
+        cfg.planted[3],
+    ];
+    for (i, r) in report.per_ged.iter().enumerate() {
+        let ok = r.violation_count == expected[i];
+        println!(
+            "  {}: {} violations (expected {}) {}",
+            r.name,
+            r.violation_count,
+            expected[i],
+            if ok { "✓" } else { "✗" }
+        );
+        assert!(ok);
+    }
+    // Spam cascade.
+    let scfg = SocialConfig::default();
+    let sinst = gen_social(&scfg);
+    let mut g = sinst.graph.clone();
+    let marked = spam_cascade(&mut g, scfg.k, &scfg.keyword);
+    println!(
+        "spam: chain of {} with 1 confirmed seed → {} newly marked (expected {}) {}",
+        scfg.chain_len,
+        marked,
+        scfg.chain_len - 1,
+        if marked == scfg.chain_len - 1 {
+            "✓"
+        } else {
+            "✗"
+        }
+    );
+    // Entity resolution.
+    let mcfg = MusicConfig::default();
+    let minst = gen_music(&mcfg);
+    let ChaseResult::Consistent {
+        coercion, stats, ..
+    } = chase(&minst.graph, &rules::music_keys())
+    else {
+        panic!("resolution chase must be valid")
+    };
+    println!(
+        "entity resolution: {} nodes → {} nodes ({} duplicate clusters, {} chase steps) {}",
+        minst.graph.node_count(),
+        coercion.graph.node_count(),
+        mcfg.n_dupes,
+        stats.steps,
+        if coercion.graph.node_count() == minst.graph.node_count() - 2 * mcfg.n_dupes {
+            "✓"
+        } else {
+            "✗"
+        }
+    );
+}
+
+fn exp_ex9_10() {
+    header(
+        "EXP-EX9",
+        "Examples 9 & 10: domain constraints (GDC pair vs GED∨)",
+    );
+    let dom = [Value::from(0), Value::from(1)];
+    let (phi1, phi2) = domain_as_gdcs("τ", "A", &dom);
+    let psi = domain_as_disj("τ", "A", &dom);
+    for (desc, val) in [("A=0", Some(0i64)), ("A=7", Some(7)), ("A missing", None)] {
+        let mut b = ged_graph::GraphBuilder::new();
+        b.node("x", "τ");
+        if let Some(v) = val {
+            b.attr("x", "A", v);
+        }
+        let g = b.build();
+        let gdc_ok = ged_ext::gdc::gdc_satisfies_all(&g, &[phi1.clone(), phi2.clone()]);
+        let disj_ok = ged_ext::disj::disj_satisfies(&g, &psi);
+        assert_eq!(gdc_ok, disj_ok, "the two formulations agree");
+        println!("  {desc:<10} GDC pair: {gdc_ok:<5} GED∨: {disj_ok}");
+    }
+}
+
+fn exp_abl_match() {
+    header(
+        "EXP-ABL",
+        "Ablation: homomorphism vs isomorphism; matcher heuristics",
+    );
+    // GKey vacuity under isomorphism — the paper's Section 3 argument:
+    // ψ1's premise x'.id = y'.id needs the two artist variables to map to
+    // the SAME node, which isomorphism forbids. Fixture: two album copies
+    // sharing one artist node.
+    let shared = {
+        let mut b = ged_graph::GraphBuilder::new();
+        b.node("a1", "album");
+        b.node("a2", "album");
+        b.node("r", "artist");
+        b.edge("a1", "by", "r").edge("a2", "by", "r");
+        b.attr("a1", "title", "Bleach").attr("a2", "title", "Bleach");
+        b.build()
+    };
+    let psi1 = rules::psi1();
+    let homo_viol = ged_core::satisfy::violations(&shared, &psi1, None).len();
+    // Under isomorphism, count matches that satisfy X (requires the
+    // x'.id = y'.id premise — impossible injectively):
+    let iso_matches_satisfying_x = {
+        let mut n = 0;
+        ged_pattern::Matcher::new(
+            &psi1.pattern,
+            &shared,
+            ged_pattern::MatchOptions::isomorphism(),
+        )
+        .for_each(|m| {
+            if ged_core::satisfy::literals_hold(&shared, m, &psi1.premises) {
+                n += 1;
+            }
+            std::ops::ControlFlow::Continue(())
+        });
+        n
+    };
+    println!(
+        "ψ1 on two same-title albums sharing an artist: homomorphism finds {homo_viol} \
+         violations; under isomorphism {iso_matches_satisfying_x} matches even satisfy X \
+         (the GKey is vacuous — Section 3)"
+    );
+    assert!(homo_viol > 0);
+    assert_eq!(iso_matches_satisfying_x, 0);
+    // Heuristic ablation.
+    use ged_datagen::random::{random_graph, random_pattern, RandomGraphConfig};
+    let cfg = RandomGraphConfig {
+        n_nodes: 200,
+        n_edges: 600,
+        ..Default::default()
+    };
+    let g = random_graph(&cfg);
+    // Pick a pattern that actually has matches so the ablation compares
+    // real work.
+    let q = (0..50)
+        .map(|seed| random_pattern(4, &cfg, seed))
+        .find(|q| ged_pattern::exists(q, &g, ged_pattern::MatchOptions::homomorphism()))
+        .expect("some 4-variable pattern matches the random graph");
+    println!("matcher heuristics (pattern size 4, |V|=200, count all matches):");
+    for (name, smart, adj) in [
+        ("order+adjacency", true, true),
+        ("order only", true, false),
+        ("adjacency only", false, true),
+        ("neither", false, false),
+    ] {
+        let opts = ged_pattern::MatchOptions {
+            semantics: ged_pattern::Semantics::Homomorphism,
+            smart_order: smart,
+            adjacency_candidates: adj,
+        };
+        let (n, d) = timed_median(3, || ged_pattern::count(&q, &g, opts));
+        println!("  {name:<18} {n:>6} matches in {:>10} µs", us(d));
+    }
+}
+
+fn exp_parallel() {
+    header(
+        "EXP-PAR",
+        "Section 9 future work: parallel validation (speedup vs threads)",
+    );
+    use ged_bench::par::violations_sharded;
+    use ged_datagen::random::{plant_key_violations, random_graph, RandomGraphConfig};
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let cfg = RandomGraphConfig {
+        n_nodes: 5_000,
+        n_edges: 15_000,
+        ..Default::default()
+    };
+    let mut g = random_graph(&cfg);
+    let key = plant_key_violations(&mut g, "entity", 300);
+    let (base_violations, d1) = timed_median(3, || violations_sharded(&g, &key, 1));
+    println!(
+        "single-GED match-space sharding, |V|={} ({} violations); host has {} core(s)",
+        g.node_count(),
+        base_violations.len(),
+        cores
+    );
+    if cores == 1 {
+        println!("  NOTE: single-core host — correctness is asserted, speedup cannot show");
+    }
+    println!("  threads = 1: {:>10} µs (baseline)", us(d1));
+    for threads in [2usize, 4, 8] {
+        let (vs, d) = timed_median(3, || violations_sharded(&g, &key, threads));
+        assert_eq!(vs.len(), base_violations.len(), "identical result set");
+        println!(
+            "  threads = {threads}: {:>10} µs (speedup ×{:.2})",
+            us(d),
+            d1.as_secs_f64() / d.as_secs_f64().max(1e-12)
+        );
+    }
+}

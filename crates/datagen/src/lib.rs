@@ -1,0 +1,24 @@
+//! # ged-datagen — workloads and lower-bound constructions
+//!
+//! Synthetic substitutes for the paper's proprietary datasets (DESIGN.md
+//! "Substitutions") and the executable hardness reductions:
+//!
+//! * [`rules`] — the GEDs of Example 3 (φ1–φ5, ψ1–ψ3);
+//! * [`kb`] — knowledge base with the four planted inconsistency kinds of
+//!   Example 1(1);
+//! * [`social`] — fake-account cascades for φ5 (Example 1(2));
+//! * [`music`] — album/artist duplicates resolvable only by the recursive
+//!   keys ψ1–ψ3 (Example 1(3));
+//! * [`random`] — random graphs / patterns / GED sets for scaling;
+//! * [`coloring`] — 3-colorability reductions behind Theorems 3, 5, 6,
+//!   cross-validated against a brute-force oracle.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod coloring;
+pub mod kb;
+pub mod music;
+pub mod random;
+pub mod rules;
+pub mod social;

@@ -1,0 +1,224 @@
+//! Social-network generator (substitute for the fake-account dataset of
+//! Example 1(2) / \[14\]; see DESIGN.md "Substitutions").
+//!
+//! Produces accounts and blogs with `like` and `post` edges and plants a
+//! *fake-account cascade*: a seed account is confirmed fake
+//! (`is_fake = 1`); a chain of accounts shares `k` liked blogs with its
+//! predecessor, and both ends post keyword-`c` blogs — so iterating φ5 to
+//! fixpoint should label the entire chain fake (the spam-detection
+//! example's repair loop).
+
+use ged_graph::{Graph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct SocialConfig {
+    /// Honest accounts.
+    pub n_honest: usize,
+    /// Blogs per honest account.
+    pub blogs_per_account: usize,
+    /// Length of the planted fake chain (≥ 1; the first is the confirmed
+    /// seed).
+    pub chain_len: usize,
+    /// Shared-blog count `k` of pattern Q5.
+    pub k: usize,
+    /// The peculiar keyword `c`.
+    pub keyword: String,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SocialConfig {
+    fn default() -> Self {
+        SocialConfig {
+            n_honest: 30,
+            blogs_per_account: 3,
+            chain_len: 4,
+            k: 2,
+            keyword: "v1agr4".into(),
+            seed: 11,
+        }
+    }
+}
+
+/// A generated social graph: the names of the planted fake accounts (in
+/// cascade order; index 0 is the confirmed seed).
+#[derive(Debug)]
+pub struct SocialInstance {
+    /// The graph.
+    pub graph: Graph,
+    /// Account names of the planted chain, seed first.
+    pub fake_chain: Vec<String>,
+}
+
+/// Generate a social graph per `cfg`.
+pub fn generate(cfg: &SocialConfig) -> SocialInstance {
+    assert!(cfg.chain_len >= 1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = GraphBuilder::new();
+
+    // Honest accounts with their own blogs; sprinkle likes between them.
+    for i in 0..cfg.n_honest {
+        let a = format!("user_{i}");
+        b.node(&a, "account");
+        b.attr(&a, "is_fake", 0);
+        for j in 0..cfg.blogs_per_account {
+            let blog = format!("blog_{i}_{j}");
+            b.node(&blog, "blog");
+            b.attr(&blog, "keyword", format!("topic_{}", rng.random_range(0..10)));
+            b.edge(&a, "post", &blog);
+            b.edge(&a, "like", &blog);
+        }
+    }
+    // Random honest cross-likes.
+    for i in 0..cfg.n_honest {
+        let a = format!("user_{i}");
+        let other = rng.random_range(0..cfg.n_honest);
+        let j = rng.random_range(0..cfg.blogs_per_account.max(1));
+        let blog = format!("blog_{other}_{j}");
+        if b.contains(&blog) {
+            b.edge(&a, "like", &blog);
+        }
+    }
+
+    // The fake chain. Account fake_0 is the confirmed seed.
+    let mut chain = Vec::new();
+    for i in 0..cfg.chain_len {
+        let a = format!("fake_{i}");
+        b.node(&a, "account");
+        if i == 0 {
+            b.attr(&a, "is_fake", 1);
+        }
+        // Each fake account posts a keyword blog.
+        let post = format!("spam_{i}");
+        b.node(&post, "blog");
+        b.attr(&post, "keyword", cfg.keyword.clone());
+        b.edge(&a, "post", &post);
+        chain.push(a);
+    }
+    // Consecutive chain members co-like k shared blogs.
+    for i in 1..cfg.chain_len {
+        for j in 0..cfg.k {
+            let shared = format!("shared_{i}_{j}");
+            b.node(&shared, "blog");
+            b.attr(&shared, "keyword", format!("meme_{j}"));
+            b.edge(&format!("fake_{}", i - 1), "like", &shared);
+            b.edge(&format!("fake_{i}"), "like", &shared);
+        }
+    }
+
+    SocialInstance {
+        graph: b.build(),
+        fake_chain: chain,
+    }
+}
+
+/// Iterate φ5 repair to fixpoint: whenever a violating match is found, set
+/// `x.is_fake = 1` on the accused account, and repeat. Returns the number
+/// of accounts newly marked fake. This is the "use GEDs as rules" mode the
+/// paper motivates for spam detection.
+pub fn spam_cascade(graph: &mut Graph, k: usize, keyword: &str) -> usize {
+    let rule = crate::rules::phi5(k, keyword);
+    let is_fake = ged_graph::sym("is_fake");
+    let x_var = rule.pattern.var_by_name("x").unwrap();
+    let mut marked = 0;
+    loop {
+        let vs = ged_core::satisfy::violations(graph, &rule, Some(1));
+        let Some(v) = vs.first() else {
+            return marked;
+        };
+        let accused = v.assignment[x_var.idx()];
+        graph.set_attr(accused, is_fake, 1);
+        marked += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ged_core::satisfy::satisfies;
+    use ged_graph::{sym, Value};
+
+    #[test]
+    fn generator_shape() {
+        let cfg = SocialConfig::default();
+        let inst = generate(&cfg);
+        assert_eq!(inst.fake_chain.len(), cfg.chain_len);
+        assert!(inst.graph.node_count() > cfg.n_honest);
+    }
+
+    #[test]
+    fn phi5_flags_the_chain_next_hop() {
+        let inst = generate(&SocialConfig::default());
+        let rule = crate::rules::phi5(2, "v1agr4");
+        assert!(
+            !satisfies(&inst.graph, &rule),
+            "fake_1 should be derivable from fake_0"
+        );
+    }
+
+    #[test]
+    fn cascade_marks_the_whole_chain_and_nothing_else() {
+        let cfg = SocialConfig::default();
+        let inst = generate(&cfg);
+        let mut g = inst.graph.clone();
+        let newly = spam_cascade(&mut g, cfg.k, &cfg.keyword);
+        assert_eq!(newly, cfg.chain_len - 1, "everyone after the seed");
+        // Now φ5 is satisfied.
+        assert!(satisfies(&g, &crate::rules::phi5(cfg.k, &cfg.keyword)));
+        // Honest accounts untouched.
+        for i in 0..cfg.n_honest {
+            let n = g.nodes_with_label(sym("account"))[i];
+            let _ = n; // account order not guaranteed; check by attribute:
+        }
+        let fakes = g
+            .nodes()
+            .filter(|&n| g.attr(n, sym("is_fake")) == Some(&Value::from(1)))
+            .count();
+        assert_eq!(fakes, cfg.chain_len);
+    }
+
+    #[test]
+    fn no_cascade_without_seed() {
+        let mut cfg = SocialConfig::default();
+        cfg.chain_len = 3;
+        let inst = generate(&cfg);
+        let mut g = inst.graph.clone();
+        // Clear the seed's flag.
+        let seed = g
+            .nodes()
+            .find(|&n| g.attr(n, sym("is_fake")) == Some(&Value::from(1)))
+            .unwrap();
+        g.set_attr(seed, sym("is_fake"), 0);
+        assert_eq!(spam_cascade(&mut g, cfg.k, &cfg.keyword), 0);
+    }
+
+    #[test]
+    fn homomorphism_collapses_the_k_shared_blogs() {
+        // Under the paper's homomorphism semantics the k blog variables of
+        // Q5 may all map to the SAME blog, so φ5(k=3) fires even when only
+        // 2 distinct shared blogs exist — one shared blog suffices. (Under
+        // subgraph isomorphism, k = 3 would genuinely require 3 blogs;
+        // Section 3 discusses exactly this semantic gap.)
+        let cfg = SocialConfig {
+            k: 2,
+            ..SocialConfig::default()
+        };
+        let inst = generate(&cfg);
+        let mut g = inst.graph.clone();
+        assert_eq!(
+            spam_cascade(&mut g, 3, &cfg.keyword),
+            cfg.chain_len - 1,
+            "k collapses under homomorphism"
+        );
+        // With NO shared blogs the rule cannot fire at all.
+        let lonely = SocialConfig {
+            chain_len: 1,
+            ..SocialConfig::default()
+        };
+        let mut g2 = generate(&lonely).graph.clone();
+        assert_eq!(spam_cascade(&mut g2, 2, &lonely.keyword), 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! A fluent, name-based graph builder.
+//!
+//! Data graphs in tests and examples are easier to read when nodes are
+//! referred to by name ("tony", "ghetto_blaster") instead of raw ids. The
+//! builder keeps a name → [`NodeId`] map and creates nodes on first use.
+
+use crate::graph::{Graph, NodeId};
+use crate::symbol::Symbol;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Builds a [`Graph`] from named nodes.
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    graph: Graph,
+    names: HashMap<String, NodeId>,
+}
+
+impl GraphBuilder {
+    /// A fresh builder.
+    pub fn new() -> GraphBuilder {
+        GraphBuilder::default()
+    }
+
+    /// Get-or-create the node called `name` with label `label`.
+    /// If the node already exists its label is left unchanged (first label
+    /// wins); this mirrors how fixtures are written in the paper's figures.
+    pub fn node(&mut self, name: &str, label: &str) -> NodeId {
+        if let Some(&id) = self.names.get(name) {
+            return id;
+        }
+        let id = self.graph.add_node(Symbol::new(label));
+        self.names.insert(name.to_string(), id);
+        id
+    }
+
+    /// Set attribute `attr = value` on the named node (which must exist).
+    pub fn attr(&mut self, name: &str, attr: &str, value: impl Into<Value>) -> &mut Self {
+        let id = self.id(name);
+        self.graph.set_attr(id, Symbol::new(attr), value);
+        self
+    }
+
+    /// Add edge `src -[label]-> dst` between named nodes (which must exist).
+    pub fn edge(&mut self, src: &str, label: &str, dst: &str) -> &mut Self {
+        let (s, d) = (self.id(src), self.id(dst));
+        self.graph.add_edge(s, Symbol::new(label), d);
+        self
+    }
+
+    /// Shorthand: create both endpoints (with labels) and the edge at once.
+    pub fn triple(
+        &mut self,
+        src: (&str, &str),
+        label: &str,
+        dst: (&str, &str),
+    ) -> &mut Self {
+        self.node(src.0, src.1);
+        self.node(dst.0, dst.1);
+        self.edge(src.0, label, dst.0)
+    }
+
+    /// The id of a previously created node. Panics on unknown names —
+    /// fixtures should fail loudly.
+    pub fn id(&self, name: &str) -> NodeId {
+        *self
+            .names
+            .get(name)
+            .unwrap_or_else(|| panic!("GraphBuilder: unknown node name {name:?}"))
+    }
+
+    /// Whether a name has been created.
+    pub fn contains(&self, name: &str) -> bool {
+        self.names.contains_key(name)
+    }
+
+    /// Finish, returning the graph.
+    pub fn build(self) -> Graph {
+        self.graph
+    }
+
+    /// Finish, returning the graph *and* the name map.
+    pub fn build_with_names(self) -> (Graph, HashMap<String, NodeId>) {
+        (self.graph, self.names)
+    }
+
+    /// Read-only access to the graph under construction.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_nodes_are_memoised() {
+        let mut b = GraphBuilder::new();
+        let a1 = b.node("a", "person");
+        let a2 = b.node("a", "ignored-second-label");
+        assert_eq!(a1, a2);
+        let g = b.build();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.label(a1), Symbol::new("person"));
+    }
+
+    #[test]
+    fn triple_builds_everything() {
+        let mut b = GraphBuilder::new();
+        b.triple(("tony", "person"), "create", ("gb", "product"));
+        b.attr("tony", "type", "psychologist");
+        let (g, names) = b.build_with_names();
+        assert_eq!(g.node_count(), 2);
+        assert!(g.has_edge(names["tony"], Symbol::new("create"), names["gb"]));
+        assert_eq!(
+            g.attr(names["tony"], Symbol::new("type")),
+            Some(&Value::from("psychologist"))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node name")]
+    fn unknown_name_panics() {
+        let b = GraphBuilder::new();
+        b.id("nope");
+    }
+
+    #[test]
+    fn contains_reflects_creation() {
+        let mut b = GraphBuilder::new();
+        assert!(!b.contains("x"));
+        b.node("x", "t");
+        assert!(b.contains("x"));
+    }
+}

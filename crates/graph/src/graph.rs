@@ -1,0 +1,472 @@
+//! The property graph `G = (V, E, L, F_A)` of Section 2.
+//!
+//! * `V` — a finite set of nodes, here dense ids `0..n` ([`NodeId`]).
+//! * `E ⊆ V × Γ × V` — finite set of labelled directed edges; parallel edges
+//!   with the *same* label are collapsed (E is a set in the paper).
+//! * `L` — a node labelling `V → Γ`.
+//! * `F_A` — per-node attribute tuples `(A1 = a1, …, An = an)` of finite
+//!   arity; graphs are schemaless, so `v.A` may be absent. The special
+//!   attribute `id` is the node identity itself and is *not* stored in the
+//!   attribute map (it is the [`NodeId`]).
+//!
+//! The structure is index-heavy because the homomorphism matcher and the
+//! chase interrogate it constantly: out/in adjacency lists, an exact edge
+//! set for O(1) `has_edge`, and a label index for candidate generation.
+
+use crate::symbol::Symbol;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+/// A node identifier: dense index into the graph's node table.
+///
+/// Doubles as the paper's special `id` attribute: `x.id = y.id` holds iff the
+/// two matched [`NodeId`]s are equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The index as `usize` for table lookups.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A directed labelled edge `(src, label, dst)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source node.
+    pub src: NodeId,
+    /// Edge label from `Γ`.
+    pub label: Symbol,
+    /// Destination node.
+    pub dst: NodeId,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct NodeData {
+    label: Symbol,
+    attrs: BTreeMap<Symbol, Value>,
+}
+
+/// A finite directed labelled property graph (Section 2).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    nodes: Vec<NodeData>,
+    out: Vec<Vec<(Symbol, NodeId)>>,
+    inn: Vec<Vec<(Symbol, NodeId)>>,
+    edge_set: HashSet<(NodeId, Symbol, NodeId)>,
+    label_index: HashMap<Symbol, Vec<NodeId>>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Graph {
+        Graph::default()
+    }
+
+    /// Add a node with `label`, returning its id.
+    pub fn add_node(&mut self, label: Symbol) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData {
+            label,
+            attrs: BTreeMap::new(),
+        });
+        self.out.push(Vec::new());
+        self.inn.push(Vec::new());
+        self.label_index.entry(label).or_default().push(id);
+        id
+    }
+
+    /// Add edge `(src, label, dst)`. Returns `false` if it already existed
+    /// (E is a set). Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, src: NodeId, label: Symbol, dst: NodeId) -> bool {
+        assert!(src.idx() < self.nodes.len(), "edge src out of range");
+        assert!(dst.idx() < self.nodes.len(), "edge dst out of range");
+        if !self.edge_set.insert((src, label, dst)) {
+            return false;
+        }
+        self.out[src.idx()].push((label, dst));
+        self.inn[dst.idx()].push((label, src));
+        true
+    }
+
+    /// Set attribute `A = v` on node `n` (overwrites). `A` must not be `id`.
+    pub fn set_attr(&mut self, n: NodeId, attr: Symbol, v: impl Into<Value>) {
+        assert!(attr != Symbol::ID, "the id attribute is the node identity and cannot be set");
+        self.nodes[n.idx()].attrs.insert(attr, v.into());
+    }
+
+    /// Remove attribute `A` from node `n`, returning the previous value.
+    pub fn remove_attr(&mut self, n: NodeId, attr: Symbol) -> Option<Value> {
+        self.nodes[n.idx()].attrs.remove(&attr)
+    }
+
+    /// Number of nodes `|V|`.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges `|E|`.
+    pub fn edge_count(&self) -> usize {
+        self.edge_set.len()
+    }
+
+    /// The paper's size measure `|G| = |V| + |E|` (plus attributes), used in
+    /// the Theorem 1 chase bounds. We count attributes too, conservatively.
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+            + self.edge_set.len()
+            + self.nodes.iter().map(|n| n.attrs.len()).sum::<usize>()
+    }
+
+    /// Label `L(n)`.
+    pub fn label(&self, n: NodeId) -> Symbol {
+        self.nodes[n.idx()].label
+    }
+
+    /// Attribute value `n.A`, if present.
+    pub fn attr(&self, n: NodeId, attr: Symbol) -> Option<&Value> {
+        self.nodes[n.idx()].attrs.get(&attr)
+    }
+
+    /// All attributes of `n` (sorted by attribute symbol).
+    pub fn attrs(&self, n: NodeId) -> &BTreeMap<Symbol, Value> {
+        &self.nodes[n.idx()].attrs
+    }
+
+    /// Iterate over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterate over all edges.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.out.iter().enumerate().flat_map(|(s, outs)| {
+            outs.iter().map(move |&(label, dst)| Edge {
+                src: NodeId(s as u32),
+                label,
+                dst,
+            })
+        })
+    }
+
+    /// Outgoing `(label, dst)` pairs of `n`.
+    pub fn out_edges(&self, n: NodeId) -> &[(Symbol, NodeId)] {
+        &self.out[n.idx()]
+    }
+
+    /// Incoming `(label, src)` pairs of `n`.
+    pub fn in_edges(&self, n: NodeId) -> &[(Symbol, NodeId)] {
+        &self.inn[n.idx()]
+    }
+
+    /// Out-degree of `n`.
+    pub fn out_degree(&self, n: NodeId) -> usize {
+        self.out[n.idx()].len()
+    }
+
+    /// In-degree of `n`.
+    pub fn in_degree(&self, n: NodeId) -> usize {
+        self.inn[n.idx()].len()
+    }
+
+    /// Exact edge membership test.
+    pub fn has_edge(&self, src: NodeId, label: Symbol, dst: NodeId) -> bool {
+        self.edge_set.contains(&(src, label, dst))
+    }
+
+    /// Edge membership under pattern-label matching `ι ⪯ ι′`: is there an
+    /// edge `src → dst` whose label is matched by `pat_label` (which may be
+    /// the wildcard)?
+    pub fn has_edge_matching(&self, src: NodeId, pat_label: Symbol, dst: NodeId) -> bool {
+        if !pat_label.is_wildcard() {
+            return self.has_edge(src, pat_label, dst);
+        }
+        self.out[src.idx()].iter().any(|&(_, d)| d == dst)
+    }
+
+    /// Nodes whose label *equals* `label` exactly.
+    pub fn nodes_with_label(&self, label: Symbol) -> &[NodeId] {
+        self.label_index.get(&label).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Candidate data nodes for a pattern node labelled `pat_label` under the
+    /// matching relation `⪯`: every node if `pat_label` is the wildcard,
+    /// otherwise exactly the nodes labelled `pat_label`.
+    pub fn label_candidates(&self, pat_label: Symbol) -> Vec<NodeId> {
+        if pat_label.is_wildcard() {
+            self.nodes().collect()
+        } else {
+            self.nodes_with_label(pat_label).to_vec()
+        }
+    }
+
+    /// The distinct labels present in the graph.
+    pub fn labels(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.label_index.keys().copied()
+    }
+
+    /// Build the quotient graph under a partition of the nodes: `class[v]`
+    /// gives the class index of node `v`; the new graph has `n_classes`
+    /// nodes, labelled and attributed by the supplied tables, with every
+    /// edge `(u, ι, v)` rewired to `(class[u], ι, class[v])` (duplicates
+    /// collapse since E is a set). This is the engine under the chase's
+    /// *coercion* `G_Eq` (Section 4.1).
+    pub fn quotient(
+        &self,
+        class: &[u32],
+        n_classes: usize,
+        labels: &[Symbol],
+        attrs: Vec<BTreeMap<Symbol, Value>>,
+    ) -> Graph {
+        assert_eq!(class.len(), self.nodes.len(), "partition covers every node");
+        assert_eq!(labels.len(), n_classes);
+        assert_eq!(attrs.len(), n_classes);
+        let mut g = Graph::new();
+        for (i, &label) in labels.iter().enumerate() {
+            let id = g.add_node(label);
+            debug_assert_eq!(id.idx(), i);
+        }
+        for (i, a) in attrs.into_iter().enumerate() {
+            g.nodes[i].attrs = a;
+        }
+        for e in self.edges() {
+            g.add_edge(
+                NodeId(class[e.src.idx()]),
+                e.label,
+                NodeId(class[e.dst.idx()]),
+            );
+        }
+        g
+    }
+
+    /// Append a disjoint copy of `other`, returning the offset that maps
+    /// `other`'s ids into `self` (node `v` of `other` becomes
+    /// `NodeId(v.0 + offset)`). Used to build the canonical graph `G_Σ`
+    /// (Section 5.1), the disjoint union of all patterns in Σ.
+    pub fn append(&mut self, other: &Graph) -> u32 {
+        let offset = self.nodes.len() as u32;
+        for n in other.nodes() {
+            let id = self.add_node(other.label(n));
+            self.nodes[id.idx()].attrs = other.attrs(n).clone();
+        }
+        for e in other.edges() {
+            self.add_edge(
+                NodeId(e.src.0 + offset),
+                e.label,
+                NodeId(e.dst.0 + offset),
+            );
+        }
+        offset
+    }
+
+    /// GraphViz DOT rendering (for debugging and the examples).
+    pub fn to_dot(&self, name: &str) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph {name} {{");
+        for n in self.nodes() {
+            let attrs: Vec<String> = self
+                .attrs(n)
+                .iter()
+                .map(|(a, v)| format!("{}={}", a, v))
+                .collect();
+            let extra = if attrs.is_empty() {
+                String::new()
+            } else {
+                format!("\\n{}", attrs.join(", "))
+            };
+            let _ = writeln!(s, "  n{} [label=\"{}: {}{}\"];", n.0, n, self.label(n), extra);
+        }
+        for e in self.edges() {
+            let _ = writeln!(s, "  n{} -> n{} [label=\"{}\"];", e.src.0, e.dst.0, e.label);
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph({} nodes, {} edges, {} labels)",
+            self.node_count(),
+            self.edge_count(),
+            self.label_index.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+
+    #[test]
+    fn build_small_graph() {
+        let mut g = Graph::new();
+        let a = g.add_node(sym("person"));
+        let b = g.add_node(sym("product"));
+        assert!(g.add_edge(a, sym("create"), b));
+        assert!(!g.add_edge(a, sym("create"), b), "E is a set");
+        g.set_attr(a, sym("name"), "Tony");
+        g.set_attr(b, sym("type"), "video game");
+
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.label(a), sym("person"));
+        assert_eq!(g.attr(a, sym("name")), Some(&Value::from("Tony")));
+        assert_eq!(g.attr(a, sym("missing")), None);
+        assert!(g.has_edge(a, sym("create"), b));
+        assert!(!g.has_edge(b, sym("create"), a));
+        assert_eq!(g.out_degree(a), 1);
+        assert_eq!(g.in_degree(b), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "id attribute")]
+    fn cannot_set_id_attribute() {
+        let mut g = Graph::new();
+        let a = g.add_node(sym("t"));
+        g.set_attr(a, Symbol::ID, 3);
+    }
+
+    #[test]
+    fn label_index_and_candidates() {
+        let mut g = Graph::new();
+        let p1 = g.add_node(sym("person"));
+        let p2 = g.add_node(sym("person"));
+        let q = g.add_node(sym("product"));
+        assert_eq!(g.nodes_with_label(sym("person")), &[p1, p2]);
+        assert_eq!(g.nodes_with_label(sym("nothing")), &[] as &[NodeId]);
+        assert_eq!(g.label_candidates(Symbol::WILDCARD), vec![p1, p2, q]);
+        assert_eq!(g.label_candidates(sym("product")), vec![q]);
+    }
+
+    #[test]
+    fn edge_matching_with_wildcard() {
+        let mut g = Graph::new();
+        let a = g.add_node(sym("t"));
+        let b = g.add_node(sym("t"));
+        g.add_edge(a, sym("knows"), b);
+        assert!(g.has_edge_matching(a, sym("knows"), b));
+        assert!(g.has_edge_matching(a, Symbol::WILDCARD, b));
+        assert!(!g.has_edge_matching(b, Symbol::WILDCARD, a));
+        assert!(!g.has_edge_matching(a, sym("likes"), b));
+    }
+
+    #[test]
+    fn quotient_merges_nodes_and_collapses_edges() {
+        // a -knows-> b, c -knows-> b; merge a and c.
+        let mut g = Graph::new();
+        let a = g.add_node(sym("t"));
+        let b = g.add_node(sym("t"));
+        let c = g.add_node(sym("t"));
+        g.add_edge(a, sym("knows"), b);
+        g.add_edge(c, sym("knows"), b);
+        g.set_attr(a, sym("x"), 1);
+        g.set_attr(c, sym("y"), 2);
+
+        let class = [0u32, 1, 0]; // a,c -> class 0; b -> class 1
+        let mut merged_attrs = BTreeMap::new();
+        merged_attrs.insert(sym("x"), Value::from(1));
+        merged_attrs.insert(sym("y"), Value::from(2));
+        let q = g.quotient(
+            &class,
+            2,
+            &[sym("t"), sym("t")],
+            vec![merged_attrs, BTreeMap::new()],
+        );
+        assert_eq!(q.node_count(), 2);
+        assert_eq!(q.edge_count(), 1, "two parallel edges collapse");
+        assert!(q.has_edge(NodeId(0), sym("knows"), NodeId(1)));
+        assert_eq!(q.attr(NodeId(0), sym("x")), Some(&Value::from(1)));
+        assert_eq!(q.attr(NodeId(0), sym("y")), Some(&Value::from(2)));
+    }
+
+    #[test]
+    fn quotient_preserves_self_loops_created_by_merge() {
+        let mut g = Graph::new();
+        let a = g.add_node(sym("t"));
+        let b = g.add_node(sym("t"));
+        g.add_edge(a, sym("e"), b);
+        let q = g.quotient(&[0, 0], 1, &[sym("t")], vec![BTreeMap::new()]);
+        assert!(q.has_edge(NodeId(0), sym("e"), NodeId(0)), "merge creates a self loop");
+    }
+
+    #[test]
+    fn append_builds_disjoint_union() {
+        let mut g1 = Graph::new();
+        let a = g1.add_node(sym("x"));
+        g1.set_attr(a, sym("k"), 7);
+        let mut g2 = Graph::new();
+        let b = g2.add_node(sym("y"));
+        let c = g2.add_node(sym("y"));
+        g2.add_edge(b, sym("e"), c);
+
+        let off = g1.append(&g2);
+        assert_eq!(off, 1);
+        assert_eq!(g1.node_count(), 3);
+        assert_eq!(g1.edge_count(), 1);
+        assert!(g1.has_edge(NodeId(1), sym("e"), NodeId(2)));
+        assert_eq!(g1.attr(NodeId(0), sym("k")), Some(&Value::from(7)));
+    }
+
+    #[test]
+    fn edges_iterator_is_complete() {
+        let mut g = Graph::new();
+        let a = g.add_node(sym("t"));
+        let b = g.add_node(sym("t"));
+        g.add_edge(a, sym("e"), b);
+        g.add_edge(b, sym("f"), a);
+        g.add_edge(a, sym("g"), a);
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort_by_key(|e| (e.src, e.dst, e.label));
+        assert_eq!(edges.len(), 3);
+    }
+
+    #[test]
+    fn size_counts_nodes_edges_attrs() {
+        let mut g = Graph::new();
+        let a = g.add_node(sym("t"));
+        let b = g.add_node(sym("t"));
+        g.add_edge(a, sym("e"), b);
+        g.set_attr(a, sym("p"), 1);
+        g.set_attr(a, sym("q"), 2);
+        assert_eq!(g.size(), 2 + 1 + 2);
+    }
+
+    #[test]
+    fn dot_output_mentions_every_node_and_edge() {
+        let mut g = Graph::new();
+        let a = g.add_node(sym("person"));
+        let b = g.add_node(sym("product"));
+        g.add_edge(a, sym("create"), b);
+        let dot = g.to_dot("g");
+        assert!(dot.contains("n0"));
+        assert!(dot.contains("n1"));
+        assert!(dot.contains("create"));
+    }
+
+    #[test]
+    fn remove_attr_roundtrip() {
+        let mut g = Graph::new();
+        let a = g.add_node(sym("t"));
+        g.set_attr(a, sym("p"), 5);
+        assert_eq!(g.remove_attr(a, sym("p")), Some(Value::from(5)));
+        assert_eq!(g.remove_attr(a, sym("p")), None);
+    }
+}

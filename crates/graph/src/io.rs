@@ -1,0 +1,345 @@
+//! Graph serialisation: a line-oriented text format and a compact binary
+//! encoding.
+//!
+//! Text format (one item per line, `#` comments):
+//!
+//! ```text
+//! node <name> <label> [attr=value]...
+//! edge <src-name> <label> <dst-name>
+//! ```
+//!
+//! Values follow [`Value::parse`]: quoted strings, ints, floats, booleans.
+//! Node names are arbitrary identifiers without whitespace.
+//!
+//! The binary encoding (via [`bytes`]) is a simple length-prefixed layout
+//! used by the bench harness to snapshot generated workloads; it is not a
+//! stable interchange format.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use crate::symbol::Symbol;
+use crate::value::Value;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Errors from the text loader / binary decoder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoError {
+    /// A malformed line, with its 1-based line number and a description.
+    Parse(usize, String),
+    /// Binary payload truncated or corrupt.
+    Binary(String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Parse(line, msg) => write!(f, "line {line}: {msg}"),
+            IoError::Binary(msg) => write!(f, "binary decode: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// Parse the text format into a graph.
+pub fn parse_text(input: &str) -> Result<Graph, IoError> {
+    let mut b = GraphBuilder::new();
+    for (i, raw) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = split_tokens(line);
+        let kind = parts.remove(0);
+        match kind.as_str() {
+            "node" => {
+                if parts.len() < 2 {
+                    return Err(IoError::Parse(lineno, "node needs <name> <label>".into()));
+                }
+                let name = &parts[0];
+                let label = &parts[1];
+                b.node(name, label);
+                for kv in &parts[2..] {
+                    let Some(eq) = kv.find('=') else {
+                        return Err(IoError::Parse(
+                            lineno,
+                            format!("attribute {kv:?} is not of the form attr=value"),
+                        ));
+                    };
+                    let (a, v) = kv.split_at(eq);
+                    b.attr(name, a, Value::parse(&v[1..]));
+                }
+            }
+            "edge" => {
+                if parts.len() != 3 {
+                    return Err(IoError::Parse(lineno, "edge needs <src> <label> <dst>".into()));
+                }
+                if !b.contains(&parts[0]) || !b.contains(&parts[2]) {
+                    return Err(IoError::Parse(
+                        lineno,
+                        format!("edge references undeclared node ({} or {})", parts[0], parts[2]),
+                    ));
+                }
+                b.edge(&parts[0], &parts[1], &parts[2]);
+            }
+            other => {
+                return Err(IoError::Parse(
+                    lineno,
+                    format!("unknown directive {other:?} (expected node/edge)"),
+                ));
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Tokenise a line, keeping quoted strings (which may contain spaces) intact
+/// inside `attr="a b"` tokens.
+fn split_tokens(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    for c in line.chars() {
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                cur.push(c);
+            }
+            c if c.is_whitespace() && !in_quotes => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Render a graph in the text format (node names are `n<i>`).
+pub fn to_text(g: &Graph) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for n in g.nodes() {
+        let _ = write!(s, "node n{} {}", n.0, g.label(n));
+        for (a, v) in g.attrs(n) {
+            let _ = write!(s, " {}={}", a, v);
+        }
+        s.push('\n');
+    }
+    let mut edges: Vec<_> = g.edges().collect();
+    edges.sort_by_key(|e| (e.src, e.dst, e.label));
+    for e in edges {
+        let _ = writeln!(s, "edge n{} {} n{}", e.src.0, e.label, e.dst.0);
+    }
+    s
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, IoError> {
+    if buf.remaining() < 4 {
+        return Err(IoError::Binary("truncated length".into()));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(IoError::Binary("truncated string".into()));
+    }
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec()).map_err(|e| IoError::Binary(e.to_string()))
+}
+
+fn put_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Bool(b) => {
+            buf.put_u8(0);
+            buf.put_u8(*b as u8);
+        }
+        Value::Int(i) => {
+            buf.put_u8(1);
+            buf.put_i64_le(*i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(2);
+            buf.put_f64_le(*f);
+        }
+        Value::Str(s) => {
+            buf.put_u8(3);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn get_value(buf: &mut Bytes) -> Result<Value, IoError> {
+    if buf.remaining() < 1 {
+        return Err(IoError::Binary("truncated value tag".into()));
+    }
+    match buf.get_u8() {
+        0 => Ok(Value::Bool(buf.get_u8() != 0)),
+        1 => Ok(Value::Int(buf.get_i64_le())),
+        2 => Ok(Value::Float(buf.get_f64_le())),
+        3 => Ok(Value::Str(get_str(buf)?)),
+        t => Err(IoError::Binary(format!("bad value tag {t}"))),
+    }
+}
+
+/// Encode a graph into the compact binary format.
+pub fn encode(g: &Graph) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(g.node_count() as u32);
+    for n in g.nodes() {
+        put_str(&mut buf, &g.label(n).name());
+        let attrs = g.attrs(n);
+        buf.put_u32_le(attrs.len() as u32);
+        for (a, v) in attrs {
+            put_str(&mut buf, &a.name());
+            put_value(&mut buf, v);
+        }
+    }
+    let edges: Vec<_> = g.edges().collect();
+    buf.put_u32_le(edges.len() as u32);
+    for e in edges {
+        buf.put_u32_le(e.src.0);
+        put_str(&mut buf, &e.label.name());
+        buf.put_u32_le(e.dst.0);
+    }
+    buf.freeze()
+}
+
+/// Decode a graph from the compact binary format.
+pub fn decode(mut buf: Bytes) -> Result<Graph, IoError> {
+    let mut g = Graph::new();
+    if buf.remaining() < 4 {
+        return Err(IoError::Binary("truncated node count".into()));
+    }
+    let n_nodes = buf.get_u32_le();
+    for _ in 0..n_nodes {
+        let label = get_str(&mut buf)?;
+        let id = g.add_node(Symbol::new(&label));
+        if buf.remaining() < 4 {
+            return Err(IoError::Binary("truncated attr count".into()));
+        }
+        let n_attrs = buf.get_u32_le();
+        for _ in 0..n_attrs {
+            let a = get_str(&mut buf)?;
+            let v = get_value(&mut buf)?;
+            g.set_attr(id, Symbol::new(&a), v);
+        }
+    }
+    if buf.remaining() < 4 {
+        return Err(IoError::Binary("truncated edge count".into()));
+    }
+    let n_edges = buf.get_u32_le();
+    for _ in 0..n_edges {
+        if buf.remaining() < 4 {
+            return Err(IoError::Binary("truncated edge".into()));
+        }
+        let src = buf.get_u32_le();
+        let label = get_str(&mut buf)?;
+        if buf.remaining() < 4 {
+            return Err(IoError::Binary("truncated edge dst".into()));
+        }
+        let dst = buf.get_u32_le();
+        if src >= n_nodes || dst >= n_nodes {
+            return Err(IoError::Binary("edge endpoint out of range".into()));
+        }
+        g.add_edge(NodeId(src), Symbol::new(&label), NodeId(dst));
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIXTURE: &str = r#"
+# Example 1(1): the Ghetto Blaster inconsistency.
+node tony person type="psychologist" name="Tony Gibson"
+node gb  product type="video game" title="Ghetto Blaster"
+edge tony create gb
+"#;
+
+    #[test]
+    fn parse_text_fixture() {
+        let g = parse_text(FIXTURE).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        let tony = g.nodes_with_label(Symbol::new("person"))[0];
+        assert_eq!(
+            g.attr(tony, Symbol::new("type")),
+            Some(&Value::from("psychologist"))
+        );
+        assert_eq!(
+            g.attr(tony, Symbol::new("name")),
+            Some(&Value::from("Tony Gibson")),
+            "quoted strings keep embedded spaces"
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        let err = parse_text("node a t\nedge a e b\n").unwrap_err();
+        match err {
+            IoError::Parse(2, msg) => assert!(msg.contains("undeclared")),
+            other => panic!("unexpected error {other:?}"),
+        }
+        let err = parse_text("frob x\n").unwrap_err();
+        assert!(matches!(err, IoError::Parse(1, _)));
+        let err = parse_text("node a\n").unwrap_err();
+        assert!(matches!(err, IoError::Parse(1, _)));
+        let err = parse_text("node a t bad-attr\n").unwrap_err();
+        assert!(matches!(err, IoError::Parse(1, _)));
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let g = parse_text(FIXTURE).unwrap();
+        let text = to_text(&g);
+        let g2 = parse_text(&text).unwrap();
+        assert_eq!(g.node_count(), g2.node_count());
+        assert_eq!(g.edge_count(), g2.edge_count());
+        for (n1, n2) in g.nodes().zip(g2.nodes()) {
+            assert_eq!(g.label(n1), g2.label(n2));
+            assert_eq!(g.attrs(n1), g2.attrs(n2));
+        }
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let g = parse_text(FIXTURE).unwrap();
+        let bytes = encode(&g);
+        let g2 = decode(bytes).unwrap();
+        assert_eq!(g.node_count(), g2.node_count());
+        assert_eq!(g.edge_count(), g2.edge_count());
+        for (n1, n2) in g.nodes().zip(g2.nodes()) {
+            assert_eq!(g.label(n1), g2.label(n2));
+            assert_eq!(g.attrs(n1), g2.attrs(n2));
+        }
+        let edges1: std::collections::HashSet<_> = g.edges().collect();
+        let edges2: std::collections::HashSet<_> = g2.edges().collect();
+        assert_eq!(edges1, edges2);
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        assert!(decode(Bytes::from_static(&[1, 2, 3])).is_err());
+        // Valid node count but nothing else.
+        assert!(decode(Bytes::from_static(&[5, 0, 0, 0])).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = parse_text("# just a comment\n\n").unwrap();
+        assert_eq!(g.node_count(), 0);
+        let g2 = decode(encode(&g)).unwrap();
+        assert_eq!(g2.node_count(), 0);
+    }
+}

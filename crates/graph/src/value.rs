@@ -1,0 +1,308 @@
+//! Attribute values.
+//!
+//! The paper assumes a countably infinite set `U` of constants (Section 2).
+//! We realise `U` as the tagged union [`Value`], covering the constant kinds
+//! that appear in the paper's examples: strings (`"video game"`,
+//! `"programmer"`, names, titles), integers (`is_fake = 1`, release years),
+//! booleans, and floating-point numbers (ratings).
+//!
+//! [`Value`] implements a *total* order (floats via [`f64::total_cmp`]) so the
+//! built-in predicates `<, >, ≤, ≥` of GDCs (Section 7.1) are well defined on
+//! every pair of values. Cross-kind comparisons order by kind tag first
+//! (except int/float, which compare numerically); the paper never compares
+//! constants of different kinds, but a total order keeps the GDC reasoning
+//! engine simple and deterministic.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A constant from the paper's universe `U`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// Boolean constant.
+    Bool(bool),
+    /// 64-bit signed integer constant.
+    Int(i64),
+    /// Double-precision float constant (totally ordered via `total_cmp`).
+    Float(f64),
+    /// String constant.
+    Str(String),
+}
+
+impl Value {
+    /// Short tag used to order values of different kinds.
+    fn kind_tag(&self) -> u8 {
+        match self {
+            Value::Bool(_) => 0,
+            Value::Int(_) => 1,
+            Value::Float(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+
+    /// Human-readable kind name (used in error messages).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+        }
+    }
+
+    /// Returns the string content if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer content if this is a [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean content if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Parse a value from its textual form, used by the graph text loader
+    /// and the pattern DSL. Quoted text is a string; `true`/`false` are
+    /// booleans; otherwise integer, then float, then bare string.
+    pub fn parse(text: &str) -> Value {
+        let t = text.trim();
+        if t.len() >= 2 && t.starts_with('"') && t.ends_with('"') {
+            return Value::Str(t[1..t.len() - 1].to_string());
+        }
+        match t {
+            "true" => return Value::Bool(true),
+            "false" => return Value::Bool(false),
+            _ => {}
+        }
+        if let Ok(i) = t.parse::<i64>() {
+            return Value::Int(i);
+        }
+        if let Ok(f) = t.parse::<f64>() {
+            return Value::Float(f);
+        }
+        Value::Str(t.to_string())
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            // Mixed int/float compare numerically so that e.g. GDC literals
+            // `x.rating <= 5` work regardless of how the data was loaded.
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (a, b) => a.kind_tag().cmp(&b.kind_tag()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Bool(b) => {
+                0u8.hash(state);
+                b.hash(state);
+            }
+            Value::Int(i) => {
+                1u8.hash(state);
+                i.hash(state);
+            }
+            Value::Float(f) => {
+                // Hash floats that equal an integer the same as that integer
+                // so that Int(2) == Float(2.0) implies equal hashes.
+                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
+                    1u8.hash(state);
+                    (*f as i64).hash(state);
+                } else {
+                    2u8.hash(state);
+                    f.to_bits().hash(state);
+                }
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn equality_within_kind() {
+        assert_eq!(Value::from(3), Value::from(3));
+        assert_ne!(Value::from(3), Value::from(4));
+        assert_eq!(Value::from("a"), Value::from("a"));
+        assert_ne!(Value::from("a"), Value::from("b"));
+        assert_eq!(Value::from(true), Value::from(true));
+    }
+
+    #[test]
+    fn int_float_numeric_equality() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert_ne!(Value::Int(2), Value::Float(2.5));
+        assert_eq!(h(&Value::Int(2)), h(&Value::Float(2.0)));
+    }
+
+    #[test]
+    fn total_order_on_floats() {
+        let nan = Value::Float(f64::NAN);
+        // total_cmp gives NaN a fixed place; comparing must not panic and
+        // must be reflexive.
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(Value::Float(1.0) < Value::Float(2.0));
+    }
+
+    #[test]
+    fn mixed_numeric_order() {
+        assert!(Value::Int(1) < Value::Float(1.5));
+        assert!(Value::Float(0.5) < Value::Int(1));
+        assert_eq!(Value::Int(3).cmp(&Value::Float(3.0)), Ordering::Equal);
+    }
+
+    #[test]
+    fn cross_kind_order_is_total_and_antisymmetric() {
+        let vals = [
+            Value::from(false),
+            Value::from(true),
+            Value::from(-1),
+            Value::from(10),
+            Value::from(1.5),
+            Value::from("x"),
+        ];
+        for a in &vals {
+            for b in &vals {
+                match a.cmp(b) {
+                    Ordering::Less => assert_eq!(b.cmp(a), Ordering::Greater),
+                    Ordering::Greater => assert_eq!(b.cmp(a), Ordering::Less),
+                    Ordering::Equal => assert_eq!(b.cmp(a), Ordering::Equal),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        assert_eq!(Value::parse("42"), Value::Int(42));
+        assert_eq!(Value::parse("-7"), Value::Int(-7));
+        assert_eq!(Value::parse("2.5"), Value::Float(2.5));
+        assert_eq!(Value::parse("true"), Value::Bool(true));
+        assert_eq!(Value::parse("\"video game\""), Value::Str("video game".into()));
+        assert_eq!(Value::parse("bare"), Value::Str("bare".into()));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::from(3).to_string(), "3");
+        assert_eq!(Value::from("a").to_string(), "\"a\"");
+        assert_eq!(Value::from(true).to_string(), "true");
+        assert_eq!(Value::from(2.5).to_string(), "2.5");
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        let pairs = [
+            (Value::from(5), Value::from(5)),
+            (Value::from("k"), Value::from("k")),
+            (Value::Int(7), Value::Float(7.0)),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(a, b);
+            assert_eq!(h(&a), h(&b));
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::from("s").as_str(), Some("s"));
+        assert_eq!(Value::from(1).as_str(), None);
+        assert_eq!(Value::from(9).as_int(), Some(9));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from(1.0).kind_name(), "float");
+    }
+}

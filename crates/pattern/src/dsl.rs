@@ -1,0 +1,290 @@
+//! A tiny textual DSL for patterns, so tests and examples read like the
+//! paper's figures.
+//!
+//! Grammar (whitespace-insensitive, statements separated by `;` or
+//! newlines, `#` comments to end of line):
+//!
+//! ```text
+//! pattern   := statement*
+//! statement := noderef (edge noderef)*
+//! noderef   := label '(' var ')'   // declares var (or re-checks label)
+//!            | '(' var ')'         // references an existing var
+//! edge      := '-[' label ']->'    // forward edge
+//!            | '<-[' label ']-'    // backward edge
+//! ```
+//!
+//! `_` is the wildcard label for both nodes and edges. Example — the
+//! paper's `Q1[x, y]` (Figure 1):
+//!
+//! ```
+//! use ged_pattern::dsl::parse_pattern;
+//! let q = parse_pattern("person(x) -[create]-> product(y)").unwrap();
+//! assert_eq!(q.var_count(), 2);
+//! assert_eq!(q.edge_count(), 1);
+//! ```
+
+use crate::pattern::{Pattern, Var};
+use std::fmt;
+
+/// DSL parse error with position info.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DslError {
+    /// 1-based statement number.
+    pub statement: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern DSL, statement {}: {}", self.statement, self.message)
+    }
+}
+
+impl std::error::Error for DslError {}
+
+#[derive(Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    LParen,
+    RParen,
+    ArrowFwd(String),  // -[label]->
+    ArrowBack(String), // <-[label]-
+}
+
+fn tokenize(stmt: &str, sno: usize) -> Result<Vec<Tok>, DslError> {
+    let err = |m: String| DslError {
+        statement: sno,
+        message: m,
+    };
+    let chars: Vec<char> = stmt.chars().collect();
+    let mut i = 0;
+    let mut toks = Vec::new();
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '(' {
+            toks.push(Tok::LParen);
+            i += 1;
+        } else if c == ')' {
+            toks.push(Tok::RParen);
+            i += 1;
+        } else if c == '-' || c == '<' {
+            // -[label]->  or  <-[label]-
+            let back = c == '<';
+            let rest: String = chars[i..].iter().collect();
+            let prefix = if back { "<-[" } else { "-[" };
+            if !rest.starts_with(prefix) {
+                return Err(err(format!("bad edge syntax near {:?}", &rest)));
+            }
+            let after = &rest[prefix.len()..];
+            let Some(close) = after.find(']') else {
+                return Err(err("unterminated edge label (missing ])".into()));
+            };
+            let label = after[..close].trim().to_string();
+            if label.is_empty() {
+                return Err(err("empty edge label".into()));
+            }
+            let tail = &after[close + 1..];
+            let suffix = if back { "-" } else { "->" };
+            if !tail.starts_with(suffix) {
+                return Err(err(format!("edge must end with {suffix:?}")));
+            }
+            i += prefix.len() + close + 1 + suffix.len();
+            toks.push(if back {
+                Tok::ArrowBack(label)
+            } else {
+                Tok::ArrowFwd(label)
+            });
+        } else if c.is_alphanumeric() || c == '_' || c == '\'' {
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '\'')
+            {
+                i += 1;
+            }
+            toks.push(Tok::Ident(chars[start..i].iter().collect()));
+        } else {
+            return Err(err(format!("unexpected character {c:?}")));
+        }
+    }
+    Ok(toks)
+}
+
+/// Parse the DSL into a [`Pattern`].
+pub fn parse_pattern(input: &str) -> Result<Pattern, DslError> {
+    let mut q = Pattern::new();
+    let statements = input
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n");
+    for (sno, stmt) in statements
+        .split([';', '\n'])
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .enumerate()
+    {
+        parse_statement(stmt, sno + 1, &mut q)?;
+    }
+    Ok(q)
+}
+
+fn parse_statement(stmt: &str, sno: usize, q: &mut Pattern) -> Result<(), DslError> {
+    let err = |m: String| DslError {
+        statement: sno,
+        message: m,
+    };
+    let toks = tokenize(stmt, sno)?;
+    let mut pos = 0;
+
+    let node = |pos: &mut usize, q: &mut Pattern| -> Result<Var, DslError> {
+        // label '(' var ')'  |  '(' var ')'
+        let label: Option<String> = match toks.get(*pos) {
+            Some(Tok::Ident(l)) => {
+                *pos += 1;
+                Some(l.clone())
+            }
+            Some(Tok::LParen) => None,
+            other => return Err(err(format!("expected node, found {other:?}"))),
+        };
+        if toks.get(*pos) != Some(&Tok::LParen) {
+            return Err(err("expected '(' after node label".into()));
+        }
+        *pos += 1;
+        let Some(Tok::Ident(var)) = toks.get(*pos) else {
+            return Err(err("expected variable name inside parens".into()));
+        };
+        let var = var.clone();
+        *pos += 1;
+        if toks.get(*pos) != Some(&Tok::RParen) {
+            return Err(err("expected ')' after variable name".into()));
+        }
+        *pos += 1;
+        match (q.var_by_name(&var), label) {
+            (Some(v), None) => Ok(v),
+            (Some(v), Some(l)) => {
+                if q.label(v).name() != l {
+                    Err(err(format!(
+                        "variable {var:?} re-declared with label {l:?}, was {:?}",
+                        q.label(v).name()
+                    )))
+                } else {
+                    Ok(v)
+                }
+            }
+            (None, Some(l)) => Ok(q.var(&var, &l)),
+            (None, None) => Err(err(format!(
+                "variable {var:?} referenced before declaration (give it a label)"
+            ))),
+        }
+    };
+
+    let mut prev = node(&mut pos, q)?;
+    while pos < toks.len() {
+        match &toks[pos] {
+            Tok::ArrowFwd(label) => {
+                pos += 1;
+                let next = node(&mut pos, q)?;
+                q.edge(prev, label, next);
+                prev = next;
+            }
+            Tok::ArrowBack(label) => {
+                pos += 1;
+                let next = node(&mut pos, q)?;
+                q.edge(next, label, prev);
+                prev = next;
+            }
+            other => return Err(err(format!("expected edge, found {other:?}"))),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ged_graph::Symbol;
+
+    #[test]
+    fn single_edge() {
+        let q = parse_pattern("person(x) -[create]-> product(y)").unwrap();
+        assert_eq!(q.var_count(), 2);
+        assert_eq!(q.edge_count(), 1);
+        let e = q.pattern_edges()[0];
+        assert_eq!(q.name(e.src), "x");
+        assert_eq!(q.name(e.dst), "y");
+        assert_eq!(e.label, Symbol::new("create"));
+    }
+
+    #[test]
+    fn chains_and_reuse() {
+        let q = parse_pattern(
+            "country(x) -[capital]-> city(y); (x) -[capital]-> city(z)",
+        )
+        .unwrap();
+        assert_eq!(q.var_count(), 3);
+        assert_eq!(q.edge_count(), 2);
+        let x = q.var_by_name("x").unwrap();
+        assert_eq!(q.out_edges(x).len(), 2);
+    }
+
+    #[test]
+    fn backward_edges() {
+        let q = parse_pattern("_(x) <-[is_a]- _(y)").unwrap();
+        let e = q.pattern_edges()[0];
+        assert_eq!(q.name(e.src), "y");
+        assert_eq!(q.name(e.dst), "x");
+        assert!(q.label(e.src).is_wildcard());
+    }
+
+    #[test]
+    fn primes_in_variable_names() {
+        let q = parse_pattern("album(x) -[by]-> artist(x'); album(y) -[by]-> artist(y')")
+            .unwrap();
+        assert_eq!(q.var_count(), 4);
+        assert!(q.var_by_name("x'").is_some());
+    }
+
+    #[test]
+    fn isolated_nodes() {
+        let q = parse_pattern("album(x)\nalbum(y)").unwrap();
+        assert_eq!(q.var_count(), 2);
+        assert_eq!(q.edge_count(), 0);
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let q = parse_pattern("# Figure 1, Q1\nperson(x) -[create]-> product(y) # trailing")
+            .unwrap();
+        assert_eq!(q.var_count(), 2);
+    }
+
+    #[test]
+    fn error_on_undeclared_reference() {
+        let e = parse_pattern("(x) -[e]-> t(y)").unwrap_err();
+        assert!(e.message.contains("before declaration"));
+    }
+
+    #[test]
+    fn error_on_label_conflict() {
+        let e = parse_pattern("a(x); b(x)").unwrap_err();
+        assert!(e.message.contains("re-declared"));
+        assert_eq!(e.statement, 2);
+    }
+
+    #[test]
+    fn error_on_bad_edge() {
+        assert!(parse_pattern("a(x) -[e] a(y)").is_err());
+        assert!(parse_pattern("a(x) -[]-> a(y)").is_err());
+        assert!(parse_pattern("a(x) -[e-> a(y)").is_err());
+        assert!(parse_pattern("a(x) a(y)").is_err());
+    }
+
+    #[test]
+    fn wildcard_edge_label() {
+        let q = parse_pattern("_(x) -[_]-> _(y)").unwrap();
+        assert!(q.pattern_edges()[0].label.is_wildcard());
+    }
+}

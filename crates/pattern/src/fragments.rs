@@ -1,0 +1,251 @@
+//! The concrete patterns and graphs of the paper's figures.
+//!
+//! * **Figure 1** — patterns `Q1 … Q7` described in Example 2 and used by
+//!   the GEDs of Example 3;
+//! * **Figure 2** — the graph `G` and patterns `Q1, Q2` of the chase
+//!   Example 4;
+//! * **Figure 3** — the patterns of the satisfiability Examples 5 & 6
+//!   (`Q1`, `Q2` = two copies of Q1's shape, `Q2'` = Q2 plus an extra
+//!   connected component `C2`);
+//! * **Figure 4** — the patterns of the implication Example 7.
+//!
+//! Keeping them in one place lets the core crate's tests, the integration
+//! tests, the examples and the experiments harness all exercise *exactly*
+//! the same constructions.
+
+use crate::dsl::parse_pattern;
+use crate::pattern::Pattern;
+use ged_graph::{Graph, GraphBuilder, NodeId};
+
+/// Figure 1, `Q1[x, y]`: a person connected to a product by a `create`
+/// edge. Used by GED φ1 ("a video game can only be created by
+/// programmers").
+pub fn fig1_q1() -> Pattern {
+    parse_pattern("person(x) -[create]-> product(y)").unwrap()
+}
+
+/// Figure 1, `Q2[x, y, z]`: a country with two `capital` edges. Used by
+/// φ2 ("a country has one capital name").
+pub fn fig1_q2() -> Pattern {
+    parse_pattern("country(x) -[capital]-> city(y); (x) -[capital]-> city(z)").unwrap()
+}
+
+/// Figure 1, `Q3[x, y]`: a generic `is_a` relation between two wildcard
+/// entities. Used by φ3 (attribute inheritance; catches the moa/birds
+/// inconsistency).
+pub fn fig1_q3() -> Pattern {
+    parse_pattern("_(x) <-[is_a]- _(y)").unwrap()
+}
+
+/// Figure 1, `Q4[x, y]`: a person that is both `child` and `parent` of
+/// another. Used by the forbidding GED φ4 (`∅ → false`).
+pub fn fig1_q4() -> Pattern {
+    parse_pattern("person(x) -[child]-> person(y); (x) -[parent]-> (y)").unwrap()
+}
+
+/// Figure 1, `Q5[x, x', z1, z2, y1, …, yk]`: the spam-detection pattern —
+/// accounts `x`, `x'` both `like` blogs `y1..yk`; `x` posts `z1`, `x'`
+/// posts `z2`. `k` is the number of shared blogs.
+pub fn fig1_q5(k: usize) -> Pattern {
+    let mut q = Pattern::new();
+    let x = q.var("x", "account");
+    let xp = q.var("x'", "account");
+    let z1 = q.var("z1", "blog");
+    let z2 = q.var("z2", "blog");
+    q.edge(x, "post", z1);
+    q.edge(xp, "post", z2);
+    for i in 1..=k {
+        let y = q.var(&format!("y{i}"), "blog");
+        q.edge(x, "like", y);
+        q.edge(xp, "like", y);
+    }
+    q
+}
+
+/// Figure 1, `Q6[x, x', y, y']`: `Q6^1[x, x']` (album `x` by artist `x'`)
+/// together with a copy `Q6^2[y, y']` — the two-copy pattern of the GKeys
+/// ψ1 (album) and ψ3 (artist).
+pub fn fig1_q6() -> Pattern {
+    parse_pattern("album(x) -[by]-> artist(x'); album(y) -[by]-> artist(y')").unwrap()
+}
+
+/// Figure 1, `Q7[x, y]`: two (isolated) album entities — the pattern of
+/// GKey ψ2 (album identified by title + release year).
+pub fn fig1_q7() -> Pattern {
+    parse_pattern("album(x); album(y)").unwrap()
+}
+
+/// Figure 2: the graph `G` of Example 4 — `v1, v2` labelled `a` with
+/// attribute `A = 1`, `v1'` labelled `b`, `v2'` labelled `c`, and edges
+/// `v1 → v1'`, `v2 → v2'` labelled `e`. Returns `(G, [v1, v2, v1', v2'])`.
+pub fn fig2_graph() -> (Graph, [NodeId; 4]) {
+    let mut b = GraphBuilder::new();
+    b.node("v1", "a");
+    b.node("v2", "a");
+    b.node("v1p", "b");
+    b.node("v2p", "c");
+    b.attr("v1", "A", 1).attr("v2", "A", 1);
+    b.edge("v1", "e", "v1p").edge("v2", "e", "v2p");
+    let (g, names) = b.build_with_names();
+    let ids = [names["v1"], names["v2"], names["v1p"], names["v2p"]];
+    (g, ids)
+}
+
+/// Figure 2, `Q1[x, y]`: two isolated `a`-labelled nodes — the pattern of
+/// φ1 = `Q1[x, y](x.A = y.A → x.id = y.id)`.
+pub fn fig2_q1() -> Pattern {
+    parse_pattern("a(x); a(y)").unwrap()
+}
+
+/// Figure 2, `Q2[x, y, z]`: an `a`-node with `e`-edges to two wildcard
+/// nodes — the pattern of φ2 = `Q2[x, y, z](∅ → y.id = z.id)`. After the
+/// chase merges `v1, v2`, it matches `x ↦ v1v2, y ↦ v1', z ↦ v2'` and
+/// forces the conflicting merge of `v1'` (label `b`) with `v2'` (label `c`).
+pub fn fig2_q2() -> Pattern {
+    parse_pattern("a(x) -[e]-> _(y); (x) -[e]-> _(z)").unwrap()
+}
+
+/// Figure 3, `Q1[x, y, z]`: `x` (label `a`) with `e`-edges to `y` (label
+/// `b`) and `z` (label `c`) — pattern of
+/// φ1 = `Q1(x.A = x.B → y.id = z.id)` in Example 5.
+pub fn fig3_q1() -> Pattern {
+    parse_pattern("a(x) -[e]-> b(y); (x) -[e]-> c(z)").unwrap()
+}
+
+/// Figure 3, `Q2[x1, y1, z1, x2, y2, z2]`: two disjoint copies of Q1's
+/// shape — pattern of φ2 = `Q2(∅ → x1.A = x1.B)`. The homomorphism `f`
+/// from Q2 to Q1 (both copies onto Q1) drives the unsatisfiability of
+/// Σ1 = {φ1, φ2}.
+pub fn fig3_q2() -> Pattern {
+    parse_pattern(
+        "a(x1) -[e]-> b(y1); (x1) -[e]-> c(z1); a(x2) -[e]-> b(y2); (x2) -[e]-> c(z2)",
+    )
+    .unwrap()
+}
+
+/// Figure 3, `Q2'`: Q2 plus an extra connected component `C2` (a `d`-node
+/// with an edge to a `d'`-node), so that Q1 and Q2' are *not* homomorphic
+/// to each other, yet Σ2 = {φ1, φ2'} is still unsatisfiable (Example 5(2)).
+pub fn fig3_q2_prime() -> Pattern {
+    parse_pattern(
+        "a(x1) -[e]-> b(y1); (x1) -[e]-> c(z1); a(x2) -[e]-> b(y2); (x2) -[e]-> c(z2); d(w1) -[g]-> dd(w2)",
+    )
+    .unwrap()
+}
+
+/// Section 3 / Example: the "UoE" GKey pattern — two isolated nodes with
+/// the same label. Under homomorphism Σ = {Q\[x,y\](∅ → x.id = y.id)} has a
+/// (single-node) model; under subgraph isomorphism it has none — the
+/// paper's argument for the homomorphism semantics.
+pub fn uoe_pattern() -> Pattern {
+    parse_pattern("UoE(x); UoE(y)").unwrap()
+}
+
+/// Figure 4, `Q[x1, x2, x3, x4]`: `x1, x2` labelled `_`; `x3` labelled `a`;
+/// `x4` labelled `b`; no edges. The GED ϕ of Example 7 is
+/// `Q(x1.A = x3.A ∧ x2.B = x4.B → x1.id = x3.id ∧ x2.id = x4.id)`.
+pub fn fig4_q() -> Pattern {
+    parse_pattern("_(x1); _(x2); a(x3); b(x4)").unwrap()
+}
+
+/// Figure 4, `Q1[x1, x2]`: two wildcard nodes — pattern of
+/// φ1 = `Q1(x1.A = x2.A → x1.id = x2.id)`.
+pub fn fig4_q1() -> Pattern {
+    parse_pattern("_(x1); _(x2)").unwrap()
+}
+
+/// Figure 4, `Q2[x1, x2]`: two wildcard nodes — pattern of
+/// φ2 = `Q2(x1.B = x2.B → x1.A = x1.B)`.
+pub fn fig4_q2() -> Pattern {
+    parse_pattern("_(x1); _(x2)").unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::{count, exists, MatchOptions};
+    use ged_graph::sym;
+
+    #[test]
+    fn fig1_shapes() {
+        assert_eq!(fig1_q1().size(), 3);
+        assert_eq!(fig1_q2().var_count(), 3);
+        assert_eq!(fig1_q2().edge_count(), 2);
+        assert_eq!(fig1_q3().var_count(), 2);
+        assert!(fig1_q3().label(fig1_q3().var_by_name("x").unwrap()).is_wildcard());
+        assert_eq!(fig1_q4().edge_count(), 2);
+        let q5 = fig1_q5(3);
+        assert_eq!(q5.var_count(), 2 + 2 + 3);
+        assert_eq!(q5.edge_count(), 2 + 2 * 3);
+        assert_eq!(fig1_q6().var_count(), 4);
+        assert_eq!(fig1_q7().edge_count(), 0);
+    }
+
+    #[test]
+    fn fig1_q6_is_a_two_copy_pattern() {
+        // Build Q6 as copy_via and compare shape with the DSL version.
+        let mut q = Pattern::new();
+        let x = q.var("x", "album");
+        let xp = q.var("x'", "artist");
+        q.edge(x, "by", xp);
+        let (copy, _) = q.copy_via(|n| n.replace('x', "y"));
+        let (q6, _) = q.disjoint_union(&copy);
+        let dsl = fig1_q6();
+        assert_eq!(q6.var_count(), dsl.var_count());
+        assert_eq!(q6.edge_count(), dsl.edge_count());
+    }
+
+    #[test]
+    fn fig2_graph_matches_paper() {
+        let (g, [v1, v2, v1p, v2p]) = fig2_graph();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.attr(v1, sym("A")), g.attr(v2, sym("A")));
+        assert_ne!(g.label(v1p), g.label(v2p), "v1' and v2' have distinct labels");
+        // Q1 matches (two a-nodes exist)
+        assert!(exists(&fig2_q1(), &g, MatchOptions::homomorphism()));
+        // Q2 does NOT match G with distinct y,z before the merge
+        // (each a-node has only one out-edge; y and z can only both map to
+        // the same node, which Q2 allows under homomorphism):
+        let ms = crate::matcher::find_all(&fig2_q2(), &g, MatchOptions::homomorphism());
+        for m in &ms {
+            let q2 = fig2_q2();
+            let y = q2.var_by_name("y").unwrap();
+            let z = q2.var_by_name("z").unwrap();
+            assert_eq!(m[y.idx()], m[z.idx()], "pre-merge, y and z coincide");
+        }
+    }
+
+    #[test]
+    fn fig3_q2_has_homomorphism_to_q1_but_q2_prime_does_not() {
+        let q1g = fig3_q1().canonical_graph();
+        // Q2 maps homomorphically into G_{Q1} (both copies collapse onto Q1)
+        assert!(exists(&fig3_q2(), &q1g, MatchOptions::homomorphism()));
+        // Q2' does not (component C2 has labels d/dd not present in Q1)
+        assert!(!exists(&fig3_q2_prime(), &q1g, MatchOptions::homomorphism()));
+        // and Q1 does not map into G_{Q2'} — wait, it does: Q2' contains a
+        // copy of Q1's shape. The paper says "Q1 is not homomorphic to Q2'
+        // and vice versa" referring to Q2' ↛ Q1; Q1 ↪ Q2' holds:
+        assert!(exists(&fig3_q1(), &fig3_q2_prime().canonical_graph(), MatchOptions::homomorphism()));
+    }
+
+    #[test]
+    fn uoe_pattern_matches_single_node_only_under_homomorphism() {
+        let mut g = Graph::new();
+        g.add_node(sym("UoE"));
+        let q = uoe_pattern();
+        assert_eq!(count(&q, &g, MatchOptions::homomorphism()), 1);
+        assert_eq!(count(&q, &g, MatchOptions::isomorphism()), 0);
+    }
+
+    #[test]
+    fn fig4_patterns() {
+        let q = fig4_q();
+        assert_eq!(q.var_count(), 4);
+        assert_eq!(q.edge_count(), 0);
+        assert!(q.label(q.var_by_name("x1").unwrap()).is_wildcard());
+        assert_eq!(q.label(q.var_by_name("x3").unwrap()), sym("a"));
+        assert_eq!(fig4_q1().var_count(), 2);
+        assert_eq!(fig4_q2().var_count(), 2);
+    }
+}

@@ -1,0 +1,580 @@
+//! Pattern matching: graph **homomorphism** (the paper's semantics,
+//! Section 2 "Matches") and **subgraph isomorphism** (the semantics of
+//! [19, 23], kept as a baseline — Section 3 argues at length why GEDs need
+//! homomorphism).
+//!
+//! A match of `Q[x̄]` in `G` is a mapping `h : x̄ → V` such that
+//! * `L_Q(u) ⪯ L(h(u))` for every pattern node `u`, and
+//! * for every pattern edge `(u, ι, u′)` there is an edge
+//!   `(h(u), ι′, h(u′))` in `G` with `ι ⪯ ι′`.
+//!
+//! Homomorphisms may map distinct variables to the same node; subgraph
+//! isomorphism adds injectivity. Both share the backtracking engine below:
+//! connectivity-aware variable ordering, adjacency-derived candidate sets,
+//! and label pruning. The engine enumerates matches in a deterministic
+//! order, which downstream code (chase, validation reports) relies on for
+//! reproducibility.
+
+use crate::pattern::{Pattern, Var};
+use ged_graph::{Graph, NodeId};
+use std::ops::ControlFlow;
+
+/// Matching semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Semantics {
+    /// Graph homomorphism (the paper's GED semantics).
+    Homomorphism,
+    /// Subgraph isomorphism: `h` must be injective (the semantics of
+    /// GFDs \[23\] and keys \[19\]; makes GKeys vacuous — see Section 3).
+    Isomorphism,
+}
+
+/// Tuning knobs, exposed so the matching ablation bench (EXP-ABL-MATCH in
+/// DESIGN.md) can switch heuristics off.
+#[derive(Debug, Clone, Copy)]
+pub struct MatchOptions {
+    /// Matching semantics.
+    pub semantics: Semantics,
+    /// Order variables by connectivity/candidate count instead of
+    /// declaration order.
+    pub smart_order: bool,
+    /// Derive candidate sets from already-assigned neighbours instead of
+    /// scanning all label candidates.
+    pub adjacency_candidates: bool,
+}
+
+impl Default for MatchOptions {
+    fn default() -> Self {
+        MatchOptions {
+            semantics: Semantics::Homomorphism,
+            smart_order: true,
+            adjacency_candidates: true,
+        }
+    }
+}
+
+impl MatchOptions {
+    /// Default options for homomorphism matching.
+    pub fn homomorphism() -> Self {
+        Self::default()
+    }
+
+    /// Default options for subgraph-isomorphism matching.
+    pub fn isomorphism() -> Self {
+        MatchOptions {
+            semantics: Semantics::Isomorphism,
+            ..Self::default()
+        }
+    }
+}
+
+/// A total match `h(x̄)`: node per variable, indexed by `Var`.
+pub type Match = Vec<NodeId>;
+
+/// The matcher: borrows a pattern and a graph, precomputes the search order.
+pub struct Matcher<'a> {
+    pattern: &'a Pattern,
+    graph: &'a Graph,
+    opts: MatchOptions,
+    order: Vec<Var>,
+}
+
+impl<'a> Matcher<'a> {
+    /// Build a matcher for `pattern` over `graph`.
+    pub fn new(pattern: &'a Pattern, graph: &'a Graph, opts: MatchOptions) -> Matcher<'a> {
+        let order = if opts.smart_order {
+            smart_order(pattern, graph)
+        } else {
+            pattern.vars().collect()
+        };
+        Matcher {
+            pattern,
+            graph,
+            opts,
+            order,
+        }
+    }
+
+    /// Visit every match; `f` returns [`ControlFlow::Break`] to stop early.
+    /// Returns `true` if enumeration ran to completion.
+    pub fn for_each(&self, mut f: impl FnMut(&[NodeId]) -> ControlFlow<()>) -> bool {
+        let mut assign: Vec<Option<NodeId>> = vec![None; self.pattern.var_count()];
+        self.backtrack(0, &mut assign, &mut f).is_continue()
+    }
+
+    /// Visit every match extending the given partial assignment (“seeded”
+    /// matching). Seeds must satisfy the label constraint; constraint edges
+    /// among seeds are checked during the search as usual.
+    pub fn for_each_seeded(
+        &self,
+        seed: &[(Var, NodeId)],
+        mut f: impl FnMut(&[NodeId]) -> ControlFlow<()>,
+    ) -> bool {
+        let mut assign: Vec<Option<NodeId>> = vec![None; self.pattern.var_count()];
+        for &(v, n) in seed {
+            if !self.pattern.label(v).matches(self.graph.label(n)) {
+                return true; // no matches; enumeration trivially complete
+            }
+            assign[v.idx()] = Some(n);
+        }
+        // Check constraint edges among the seeds up front.
+        for e in self.pattern.pattern_edges() {
+            if let (Some(s), Some(d)) = (assign[e.src.idx()], assign[e.dst.idx()]) {
+                if !self.graph.has_edge_matching(s, e.label, d) {
+                    return true;
+                }
+            }
+        }
+        if self.opts.semantics == Semantics::Isomorphism {
+            let mut used = std::collections::HashSet::new();
+            for &(_, n) in seed {
+                if !used.insert(n) {
+                    return true;
+                }
+            }
+        }
+        self.backtrack(0, &mut assign, &mut f).is_continue()
+    }
+
+    fn backtrack(
+        &self,
+        depth: usize,
+        assign: &mut Vec<Option<NodeId>>,
+        f: &mut impl FnMut(&[NodeId]) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        // Skip already-assigned (seeded) variables.
+        let mut depth = depth;
+        while depth < self.order.len() && assign[self.order[depth].idx()].is_some() {
+            depth += 1;
+        }
+        if depth == self.order.len() {
+            let full: Vec<NodeId> = assign.iter().map(|o| o.unwrap()).collect();
+            return f(&full);
+        }
+        let v = self.order[depth];
+        let candidates = self.candidates(v, assign);
+        for n in candidates {
+            if !self.consistent(v, n, assign) {
+                continue;
+            }
+            assign[v.idx()] = Some(n);
+            let flow = self.backtrack(depth + 1, assign, f);
+            assign[v.idx()] = None;
+            flow?;
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Candidate data nodes for `v` given the partial assignment: derived
+    /// from an already-assigned neighbour when possible (cheap), otherwise
+    /// from the label index.
+    fn candidates(&self, v: Var, assign: &[Option<NodeId>]) -> Vec<NodeId> {
+        let lv = self.pattern.label(v);
+        if self.opts.adjacency_candidates {
+            // v required as dst of an assigned src?
+            for &(el, u) in self.pattern.in_edges(v) {
+                if let Some(hu) = assign[u.idx()] {
+                    let mut c: Vec<NodeId> = self
+                        .graph
+                        .out_edges(hu)
+                        .iter()
+                        .filter(|&&(l, d)| el.matches(l) && lv.matches(self.graph.label(d)))
+                        .map(|&(_, d)| d)
+                        .collect();
+                    c.sort_unstable();
+                    c.dedup();
+                    return c;
+                }
+            }
+            // v required as src of an assigned dst?
+            for &(el, u) in self.pattern.out_edges(v) {
+                if let Some(hu) = assign[u.idx()] {
+                    let mut c: Vec<NodeId> = self
+                        .graph
+                        .in_edges(hu)
+                        .iter()
+                        .filter(|&&(l, s)| el.matches(l) && lv.matches(self.graph.label(s)))
+                        .map(|&(_, s)| s)
+                        .collect();
+                    c.sort_unstable();
+                    c.dedup();
+                    return c;
+                }
+            }
+        }
+        self.graph.label_candidates(lv)
+    }
+
+    /// Check `v ↦ n` against labels, constraint edges to assigned
+    /// variables, and (for isomorphism) injectivity.
+    fn consistent(&self, v: Var, n: NodeId, assign: &[Option<NodeId>]) -> bool {
+        if !self.pattern.label(v).matches(self.graph.label(n)) {
+            return false;
+        }
+        if self.opts.semantics == Semantics::Isomorphism
+            && assign.iter().any(|&a| a == Some(n))
+        {
+            return false;
+        }
+        for &(el, d) in self.pattern.out_edges(v) {
+            if d == v {
+                if !self.graph.has_edge_matching(n, el, n) {
+                    return false;
+                }
+                continue;
+            }
+            if let Some(hd) = assign[d.idx()] {
+                if !self.graph.has_edge_matching(n, el, hd) {
+                    return false;
+                }
+            }
+        }
+        for &(el, s) in self.pattern.in_edges(v) {
+            if s == v {
+                continue; // self-loop handled above
+            }
+            if let Some(hs) = assign[s.idx()] {
+                if !self.graph.has_edge_matching(hs, el, n) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Order variables: start at the most constrained (fewest label candidates,
+/// highest degree), then repeatedly pick the unvisited variable with the
+/// most edges into the visited set (tiebreak: fewer candidates). Keeps the
+/// search connected, which makes adjacency-derived candidates applicable.
+fn smart_order(pattern: &Pattern, graph: &Graph) -> Vec<Var> {
+    let n = pattern.var_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let cand_count: Vec<usize> = pattern
+        .vars()
+        .map(|v| {
+            let l = pattern.label(v);
+            if l.is_wildcard() {
+                graph.node_count()
+            } else {
+                graph.nodes_with_label(l).len()
+            }
+        })
+        .collect();
+    let mut order: Vec<Var> = Vec::with_capacity(n);
+    let mut picked = vec![false; n];
+    while order.len() < n {
+        let mut best: Option<(usize, usize, usize)> = None; // (-(connections), cand, idx)
+        for v in pattern.vars() {
+            if picked[v.idx()] {
+                continue;
+            }
+            let connections = pattern
+                .out_edges(v)
+                .iter()
+                .map(|&(_, d)| d)
+                .chain(pattern.in_edges(v).iter().map(|&(_, s)| s))
+                .filter(|u| picked[u.idx()])
+                .count();
+            let key = (usize::MAX - connections, cand_count[v.idx()], v.idx());
+            if best.is_none() || key < best.unwrap() {
+                best = Some(key);
+            }
+        }
+        let (_, _, idx) = best.unwrap();
+        picked[idx] = true;
+        order.push(Var(idx as u32));
+    }
+    order
+}
+
+/// All matches of `pattern` in `graph` under `opts`. Use only when the
+/// result set is known to be small; prefer [`Matcher::for_each`] otherwise.
+pub fn find_all(pattern: &Pattern, graph: &Graph, opts: MatchOptions) -> Vec<Match> {
+    let mut out = Vec::new();
+    Matcher::new(pattern, graph, opts).for_each(|m| {
+        out.push(m.to_vec());
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// The first match, if any.
+pub fn find_first(pattern: &Pattern, graph: &Graph, opts: MatchOptions) -> Option<Match> {
+    let mut out = None;
+    Matcher::new(pattern, graph, opts).for_each(|m| {
+        out = Some(m.to_vec());
+        ControlFlow::Break(())
+    });
+    out
+}
+
+/// Does any match exist?
+pub fn exists(pattern: &Pattern, graph: &Graph, opts: MatchOptions) -> bool {
+    find_first(pattern, graph, opts).is_some()
+}
+
+/// Count all matches (enumerates them all — exponential in the worst case).
+pub fn count(pattern: &Pattern, graph: &Graph, opts: MatchOptions) -> usize {
+    let mut n = 0usize;
+    Matcher::new(pattern, graph, opts).for_each(|_| {
+        n += 1;
+        ControlFlow::Continue(())
+    });
+    n
+}
+
+/// Brute-force reference matcher: tries all `|V|^|x̄|` assignments. Used by
+/// the property tests to validate the backtracking engine.
+pub fn find_all_brute(pattern: &Pattern, graph: &Graph, opts: MatchOptions) -> Vec<Match> {
+    let nv = pattern.var_count();
+    let nodes: Vec<NodeId> = graph.nodes().collect();
+    let mut out = Vec::new();
+    if nv == 0 {
+        out.push(Vec::new());
+        return out;
+    }
+    if nodes.is_empty() {
+        return out;
+    }
+    let mut idx = vec![0usize; nv];
+    'outer: loop {
+        let assign: Vec<NodeId> = idx.iter().map(|&i| nodes[i]).collect();
+        if is_match(pattern, graph, &assign, opts.semantics) {
+            out.push(assign);
+        }
+        // increment
+        for d in (0..nv).rev() {
+            idx[d] += 1;
+            if idx[d] < nodes.len() {
+                continue 'outer;
+            }
+            idx[d] = 0;
+            if d == 0 {
+                break 'outer;
+            }
+        }
+    }
+    out
+}
+
+/// Check whether a full assignment is a match.
+pub fn is_match(pattern: &Pattern, graph: &Graph, assign: &[NodeId], sem: Semantics) -> bool {
+    if assign.len() != pattern.var_count() {
+        return false;
+    }
+    if sem == Semantics::Isomorphism {
+        let mut seen = std::collections::HashSet::new();
+        if !assign.iter().all(|n| seen.insert(*n)) {
+            return false;
+        }
+    }
+    for v in pattern.vars() {
+        if !pattern.label(v).matches(graph.label(assign[v.idx()])) {
+            return false;
+        }
+    }
+    for e in pattern.pattern_edges() {
+        if !graph.has_edge_matching(assign[e.src.idx()], e.label, assign[e.dst.idx()]) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ged_graph::GraphBuilder;
+
+    fn creator_graph() -> Graph {
+        // tony -create-> gb ; gibbo -create-> gb ; ada -create-> engine
+        let mut b = GraphBuilder::new();
+        b.triple(("tony", "person"), "create", ("gb", "product"));
+        b.triple(("gibbo", "person"), "create", ("gb", "product"));
+        b.triple(("ada", "person"), "create", ("engine", "product"));
+        b.build()
+    }
+
+    fn q1() -> Pattern {
+        let mut q = Pattern::new();
+        let x = q.var("x", "person");
+        let y = q.var("y", "product");
+        q.edge(x, "create", y);
+        q
+    }
+
+    #[test]
+    fn homomorphism_finds_all_creator_pairs() {
+        let g = creator_graph();
+        let ms = find_all(&q1(), &g, MatchOptions::homomorphism());
+        assert_eq!(ms.len(), 3);
+    }
+
+    #[test]
+    fn non_injective_matches_allowed_under_homomorphism() {
+        // Pattern: two independent person nodes. Graph has 3 persons.
+        let g = creator_graph();
+        let mut q = Pattern::new();
+        q.var("x", "person");
+        q.var("y", "person");
+        let homo = count(&q, &g, MatchOptions::homomorphism());
+        let iso = count(&q, &g, MatchOptions::isomorphism());
+        assert_eq!(homo, 9, "3 × 3 assignments");
+        assert_eq!(iso, 6, "3 × 2 injective assignments");
+    }
+
+    #[test]
+    fn wildcard_node_label_matches_everything() {
+        let g = creator_graph();
+        let mut q = Pattern::new();
+        q.var("x", "_");
+        assert_eq!(count(&q, &g, MatchOptions::homomorphism()), g.node_count());
+    }
+
+    #[test]
+    fn wildcard_edge_label() {
+        let g = creator_graph();
+        let mut q = Pattern::new();
+        let x = q.var("x", "_");
+        let y = q.var("y", "_");
+        q.edge(x, "_", y);
+        // one match per edge (all 3 edges), endpoints are forced
+        assert_eq!(count(&q, &g, MatchOptions::homomorphism()), 3);
+    }
+
+    #[test]
+    fn concrete_pattern_label_does_not_match_wildcard_data_label() {
+        // A data graph containing a '_'-labelled node (as arises when
+        // chasing canonical graphs, Section 4).
+        let mut g = Graph::new();
+        g.add_node(ged_graph::sym("_"));
+        let mut q = Pattern::new();
+        q.var("x", "person");
+        assert!(!exists(&q, &g, MatchOptions::homomorphism()));
+        // but a wildcard pattern node does match the wildcard data node
+        let mut qw = Pattern::new();
+        qw.var("x", "_");
+        assert!(exists(&qw, &g, MatchOptions::homomorphism()));
+    }
+
+    #[test]
+    fn self_loop_pattern() {
+        let mut g = Graph::new();
+        let a = g.add_node(ged_graph::sym("t"));
+        let b = g.add_node(ged_graph::sym("t"));
+        g.add_edge(a, ged_graph::sym("e"), a);
+        g.add_edge(a, ged_graph::sym("e"), b);
+        let mut q = Pattern::new();
+        let x = q.var("x", "t");
+        q.edge(x, "e", x);
+        let ms = find_all(&q, &g, MatchOptions::homomorphism());
+        assert_eq!(ms, vec![vec![a]]);
+    }
+
+    #[test]
+    fn triangle_pattern_requires_triangle() {
+        let mut g = Graph::new();
+        let n: Vec<NodeId> = (0..3).map(|_| g.add_node(ged_graph::sym("t"))).collect();
+        let e = ged_graph::sym("e");
+        g.add_edge(n[0], e, n[1]);
+        g.add_edge(n[1], e, n[2]);
+        let mut q = Pattern::new();
+        let x = q.var("x", "t");
+        let y = q.var("y", "t");
+        let z = q.var("z", "t");
+        q.edge(x, "e", y);
+        q.edge(y, "e", z);
+        q.edge(z, "e", x);
+        assert!(!exists(&q, &g, MatchOptions::homomorphism()));
+        g.add_edge(n[2], e, n[0]);
+        assert!(exists(&q, &g, MatchOptions::homomorphism()));
+    }
+
+    #[test]
+    fn seeded_matching_restricts_results() {
+        let g = creator_graph();
+        let q = q1();
+        let x = q.var_by_name("x").unwrap();
+        let tony = g.nodes_with_label(ged_graph::sym("person"))[0];
+        let mut found = Vec::new();
+        Matcher::new(&q, &g, MatchOptions::homomorphism()).for_each_seeded(
+            &[(x, tony)],
+            |m| {
+                found.push(m.to_vec());
+                ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0][x.idx()], tony);
+    }
+
+    #[test]
+    fn seeded_matching_rejects_bad_seed_label() {
+        let g = creator_graph();
+        let q = q1();
+        let x = q.var_by_name("x").unwrap();
+        let gb = g.nodes_with_label(ged_graph::sym("product"))[0];
+        let mut found = 0;
+        Matcher::new(&q, &g, MatchOptions::homomorphism()).for_each_seeded(&[(x, gb)], |_| {
+            found += 1;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(found, 0);
+    }
+
+    #[test]
+    fn early_exit_stops_enumeration() {
+        let g = creator_graph();
+        let mut seen = 0;
+        let completed = Matcher::new(&q1(), &g, MatchOptions::homomorphism()).for_each(|_| {
+            seen += 1;
+            ControlFlow::Break(())
+        });
+        assert_eq!(seen, 1);
+        assert!(!completed);
+    }
+
+    #[test]
+    fn empty_pattern_has_one_empty_match() {
+        let g = creator_graph();
+        let q = Pattern::new();
+        assert_eq!(count(&q, &g, MatchOptions::homomorphism()), 1);
+    }
+
+    #[test]
+    fn heuristics_do_not_change_the_match_set() {
+        let g = creator_graph();
+        let q = q1();
+        let base: std::collections::HashSet<Match> =
+            find_all(&q, &g, MatchOptions::homomorphism()).into_iter().collect();
+        for smart in [false, true] {
+            for adj in [false, true] {
+                let opts = MatchOptions {
+                    semantics: Semantics::Homomorphism,
+                    smart_order: smart,
+                    adjacency_candidates: adj,
+                };
+                let got: std::collections::HashSet<Match> =
+                    find_all(&q, &g, opts).into_iter().collect();
+                assert_eq!(got, base, "smart={smart} adj={adj}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_cases() {
+        let g = creator_graph();
+        for (name, q) in [("q1", q1())] {
+            let fast: std::collections::HashSet<Match> =
+                find_all(&q, &g, MatchOptions::homomorphism()).into_iter().collect();
+            let brute: std::collections::HashSet<Match> =
+                find_all_brute(&q, &g, MatchOptions::homomorphism())
+                    .into_iter()
+                    .collect();
+            assert_eq!(fast, brute, "{name}");
+        }
+    }
+}

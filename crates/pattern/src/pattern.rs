@@ -1,0 +1,389 @@
+//! Graph patterns `Q[x̄]` (Section 2).
+//!
+//! A pattern is a directed graph `(V_Q, E_Q, L_Q)` whose nodes are the
+//! variables `x̄`. Node labels come from `Γ` or are the wildcard `_`; edge
+//! labels likewise (the paper's figures use concrete edge labels, but the
+//! matcher supports wildcard edges too, as required by "when ι is `_` there
+//! may exist multiple edges e′ with ι ⪯ ι′").
+//!
+//! Two pattern-level operations from the paper live here:
+//! * **copy via a bijection** (Section 2): `Q2[ȳ]` is a copy of `Q1[x̄]`
+//!   with variables renamed — the building block of GKeys;
+//! * the **canonical graph** `G_Q` (Section 5.2): the pattern itself viewed
+//!   as a data graph with empty attribute tuples (wildcard labels kept as a
+//!   special label, per Section 4 "we treat `_` in Q as a special label").
+
+use ged_graph::{Graph, NodeId, Symbol};
+use std::fmt;
+
+/// A pattern variable: dense index into the pattern's variable list `x̄`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The index as `usize`.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// A pattern edge `(src, label, dst)` between variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PatternEdge {
+    /// Source variable.
+    pub src: Var,
+    /// Edge label (may be wildcard).
+    pub label: Symbol,
+    /// Destination variable.
+    pub dst: Var,
+}
+
+/// A graph pattern `Q[x̄] = (V_Q, E_Q, L_Q)`.
+#[derive(Debug, Clone, Default)]
+pub struct Pattern {
+    labels: Vec<Symbol>,
+    names: Vec<String>,
+    edges: Vec<PatternEdge>,
+    out: Vec<Vec<(Symbol, Var)>>,
+    inn: Vec<Vec<(Symbol, Var)>>,
+}
+
+impl Pattern {
+    /// An empty pattern.
+    pub fn new() -> Pattern {
+        Pattern::default()
+    }
+
+    /// Add a variable named `name` with node label `label` (use `"_"` for
+    /// the wildcard). Returns the new [`Var`].
+    pub fn var(&mut self, name: &str, label: &str) -> Var {
+        self.var_sym(name, Symbol::new(label))
+    }
+
+    /// As [`Pattern::var`] with an already-interned label.
+    pub fn var_sym(&mut self, name: &str, label: Symbol) -> Var {
+        debug_assert!(
+            !self.names.iter().any(|n| n == name),
+            "duplicate pattern variable name {name:?}"
+        );
+        let v = Var(self.labels.len() as u32);
+        self.labels.push(label);
+        self.names.push(name.to_string());
+        self.out.push(Vec::new());
+        self.inn.push(Vec::new());
+        v
+    }
+
+    /// Add edge `src -[label]-> dst` (label `"_"` for wildcard).
+    pub fn edge(&mut self, src: Var, label: &str, dst: Var) {
+        self.edge_sym(src, Symbol::new(label), dst)
+    }
+
+    /// As [`Pattern::edge`] with an already-interned label.
+    pub fn edge_sym(&mut self, src: Var, label: Symbol, dst: Var) {
+        self.edges.push(PatternEdge { src, label, dst });
+        self.out[src.idx()].push((label, dst));
+        self.inn[dst.idx()].push((label, src));
+    }
+
+    /// Number of variables `|x̄|`.
+    pub fn var_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of pattern edges `|E_Q|`.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Pattern size `|Q| = |V_Q| + |E_Q|` (the bound `k` of Section 5.3).
+    pub fn size(&self) -> usize {
+        self.var_count() + self.edge_count()
+    }
+
+    /// All variables.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        (0..self.labels.len() as u32).map(Var)
+    }
+
+    /// The label `L_Q(v)`.
+    pub fn label(&self, v: Var) -> Symbol {
+        self.labels[v.idx()]
+    }
+
+    /// The declared name of `v`.
+    pub fn name(&self, v: Var) -> &str {
+        &self.names[v.idx()]
+    }
+
+    /// Look up a variable by name.
+    pub fn var_by_name(&self, name: &str) -> Option<Var> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| Var(i as u32))
+    }
+
+    /// All pattern edges.
+    pub fn pattern_edges(&self) -> &[PatternEdge] {
+        &self.edges
+    }
+
+    /// Outgoing `(label, dst)` pairs of `v`.
+    pub fn out_edges(&self, v: Var) -> &[(Symbol, Var)] {
+        &self.out[v.idx()]
+    }
+
+    /// Incoming `(label, src)` pairs of `v`.
+    pub fn in_edges(&self, v: Var) -> &[(Symbol, Var)] {
+        &self.inn[v.idx()]
+    }
+
+    /// Degree (in + out) of `v` — used by the matcher's variable ordering.
+    pub fn degree(&self, v: Var) -> usize {
+        self.out[v.idx()].len() + self.inn[v.idx()].len()
+    }
+
+    /// The canonical graph `G_Q` (Section 5.2): the pattern as a data graph
+    /// with empty attribute tuples. The wildcard survives as the node label
+    /// `_`, which the chase's label-matching treats as a special label.
+    pub fn canonical_graph(&self) -> Graph {
+        let mut g = Graph::new();
+        for v in self.vars() {
+            g.add_node(self.label(v));
+        }
+        for e in &self.edges {
+            g.add_edge(NodeId(e.src.0), e.label, NodeId(e.dst.0));
+        }
+        g
+    }
+
+    /// A *copy of `Q` via a bijection* (Section 2): the same pattern with
+    /// every variable renamed by `rename` (e.g. `x → x'`). Returns the copy
+    /// and the bijection `f : x̄ → ȳ` as a vector indexed by the original
+    /// variable.
+    pub fn copy_via(&self, rename: impl Fn(&str) -> String) -> (Pattern, Vec<Var>) {
+        let mut q = Pattern::new();
+        let mut f = Vec::with_capacity(self.var_count());
+        for v in self.vars() {
+            f.push(q.var_sym(&rename(self.name(v)), self.label(v)));
+        }
+        for e in &self.edges {
+            q.edge_sym(f[e.src.idx()], e.label, f[e.dst.idx()]);
+        }
+        (q, f)
+    }
+
+    /// Disjoint union `Q ⊎ Q'`: appends `other`'s variables after `self`'s.
+    /// Returns the combined pattern and the offset mapping `other`'s
+    /// variables (`Var(v.0 + offset)`); names are kept, so they must not
+    /// clash (callers rename via [`Pattern::copy_via`] first).
+    pub fn disjoint_union(&self, other: &Pattern) -> (Pattern, u32) {
+        let mut q = self.clone();
+        let offset = q.var_count() as u32;
+        for v in other.vars() {
+            q.var_sym(other.name(v), other.label(v));
+        }
+        for e in &other.edges {
+            q.edge_sym(
+                Var(e.src.0 + offset),
+                e.label,
+                Var(e.dst.0 + offset),
+            );
+        }
+        (q, offset)
+    }
+
+    /// Is the pattern (weakly) connected? Used by generators and by the
+    /// satisfiability model construction.
+    pub fn is_connected(&self) -> bool {
+        let n = self.var_count();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &(_, d) in &self.out[v] {
+                if !seen[d.idx()] {
+                    seen[d.idx()] = true;
+                    count += 1;
+                    stack.push(d.idx());
+                }
+            }
+            for &(_, s) in &self.inn[v] {
+                if !seen[s.idx()] {
+                    seen[s.idx()] = true;
+                    count += 1;
+                    stack.push(s.idx());
+                }
+            }
+        }
+        count == n
+    }
+
+    /// The weakly-connected components, each as a sorted list of variables.
+    pub fn components(&self) -> Vec<Vec<Var>> {
+        let n = self.var_count();
+        let mut comp = vec![usize::MAX; n];
+        let mut next = 0;
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let c = next;
+            next += 1;
+            let mut stack = vec![start];
+            comp[start] = c;
+            while let Some(v) = stack.pop() {
+                let nbrs: Vec<usize> = self.out[v]
+                    .iter()
+                    .map(|&(_, d)| d.idx())
+                    .chain(self.inn[v].iter().map(|&(_, s)| s.idx()))
+                    .collect();
+                for u in nbrs {
+                    if comp[u] == usize::MAX {
+                        comp[u] = c;
+                        stack.push(u);
+                    }
+                }
+            }
+        }
+        let mut groups = vec![Vec::new(); next];
+        for (v, &c) in comp.iter().enumerate() {
+            groups[c].push(Var(v as u32));
+        }
+        groups
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let vars: Vec<String> = self
+            .vars()
+            .map(|v| format!("{}:{}", self.name(v), self.label(v)))
+            .collect();
+        write!(f, "Q[{}]", vars.join(", "))?;
+        if !self.edges.is_empty() {
+            let edges: Vec<String> = self
+                .edges
+                .iter()
+                .map(|e| {
+                    format!(
+                        "{} -[{}]-> {}",
+                        self.name(e.src),
+                        e.label,
+                        self.name(e.dst)
+                    )
+                })
+                .collect();
+            write!(f, " {{ {} }}", edges.join("; "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut q = Pattern::new();
+        let x = q.var("x", "person");
+        let y = q.var("y", "product");
+        q.edge(x, "create", y);
+        assert_eq!(q.var_count(), 2);
+        assert_eq!(q.edge_count(), 1);
+        assert_eq!(q.size(), 3);
+        assert_eq!(q.label(x), Symbol::new("person"));
+        assert_eq!(q.name(y), "y");
+        assert_eq!(q.var_by_name("x"), Some(x));
+        assert_eq!(q.var_by_name("zzz"), None);
+        assert_eq!(q.degree(x), 1);
+        assert_eq!(q.out_edges(x), &[(Symbol::new("create"), y)]);
+        assert_eq!(q.in_edges(y), &[(Symbol::new("create"), x)]);
+    }
+
+    #[test]
+    fn canonical_graph_mirrors_pattern() {
+        let mut q = Pattern::new();
+        let x = q.var("x", "_");
+        let y = q.var("y", "b");
+        q.edge(x, "e", y);
+        let g = q.canonical_graph();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.label(NodeId(0)), Symbol::WILDCARD, "wildcard survives in G_Q");
+        assert_eq!(g.label(NodeId(1)), Symbol::new("b"));
+        assert!(g.has_edge(NodeId(0), Symbol::new("e"), NodeId(1)));
+        assert!(g.attrs(NodeId(0)).is_empty(), "G_Q has empty F_A");
+    }
+
+    #[test]
+    fn copy_via_bijection() {
+        let mut q = Pattern::new();
+        let x = q.var("x", "album");
+        let xp = q.var("x2", "artist");
+        q.edge(x, "by", xp);
+        let (copy, f) = q.copy_via(|n| format!("{n}_c"));
+        assert_eq!(copy.var_count(), 2);
+        assert_eq!(copy.name(f[x.idx()]), "x_c");
+        assert_eq!(copy.label(f[x.idx()]), Symbol::new("album"));
+        assert_eq!(copy.edge_count(), 1);
+        let e = copy.pattern_edges()[0];
+        assert_eq!(e.src, f[x.idx()]);
+        assert_eq!(e.dst, f[xp.idx()]);
+    }
+
+    #[test]
+    fn disjoint_union_offsets() {
+        let mut q1 = Pattern::new();
+        q1.var("x", "a");
+        let mut q2 = Pattern::new();
+        let u = q2.var("u", "b");
+        let v = q2.var("v", "c");
+        q2.edge(u, "e", v);
+        let (q, off) = q1.disjoint_union(&q2);
+        assert_eq!(off, 1);
+        assert_eq!(q.var_count(), 3);
+        assert_eq!(q.edge_count(), 1);
+        assert_eq!(q.label(Var(1)), Symbol::new("b"));
+        let e = q.pattern_edges()[0];
+        assert_eq!((e.src, e.dst), (Var(1), Var(2)));
+    }
+
+    #[test]
+    fn connectivity() {
+        let mut q = Pattern::new();
+        let x = q.var("x", "a");
+        let y = q.var("y", "a");
+        assert!(!q.is_connected());
+        assert_eq!(q.components().len(), 2);
+        q.edge(x, "e", y);
+        assert!(q.is_connected());
+        assert_eq!(q.components(), vec![vec![x, y]]);
+        // Empty and singleton are connected.
+        assert!(Pattern::new().is_connected());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut q = Pattern::new();
+        let x = q.var("x", "person");
+        let y = q.var("y", "product");
+        q.edge(x, "create", y);
+        let s = q.to_string();
+        assert!(s.contains("x:person"));
+        assert!(s.contains("-[create]->"));
+    }
+}

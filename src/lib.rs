@@ -1,0 +1,51 @@
+//! # ged-repro — umbrella crate for the GED reproduction
+//!
+//! Re-exports the workspace crates as a single dependency and provides the
+//! [`prelude`] used by the runnable examples in `examples/` and the
+//! integration tests in `tests/`.
+//!
+//! The system reproduces *Dependencies for Graphs* (Fan & Lu, PODS 2017):
+//! see `DESIGN.md` for the inventory and `EXPERIMENTS.md` for the
+//! regenerated tables/figures.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use ged_core as core;
+pub use ged_datagen as datagen;
+pub use ged_ext as ext;
+pub use ged_graph as graph;
+pub use ged_pattern as pattern;
+
+/// Everything needed to define graphs, patterns and GEDs and run the
+/// reasoning procedures.
+pub mod prelude {
+    pub use ged_core::axiom::completeness::prove;
+    pub use ged_core::axiom::derived::{
+        prove_augmentation, prove_reflexivity, prove_transitivity, ProofBuilder,
+    };
+    pub use ged_core::chase::{chase, chase_from, chase_random, ChaseResult};
+    pub use ged_core::ged::{Ged, GedClass};
+    pub use ged_core::literal::Literal;
+    pub use ged_core::reason::{
+        build_model, implies, is_satisfiable, minimize, validate, Validator,
+    };
+    pub use ged_core::satisfy::{is_model, satisfies, satisfies_all, violations};
+    pub use ged_ext::{
+        disj_implies, disj_satisfiable, disj_satisfies, gdc_implies, gdc_satisfiable,
+        gdc_satisfies, DisjGed, Gdc, GdcLiteral, Pred,
+    };
+    pub use ged_graph::{sym, Graph, GraphBuilder, NodeId, Symbol, Value};
+    pub use ged_pattern::{parse_pattern, MatchOptions, Pattern, Semantics, Var};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_is_usable() {
+        use crate::prelude::*;
+        let q = parse_pattern("t(x)").unwrap();
+        let g = Ged::new("g", q, vec![], vec![]);
+        assert!(satisfies(&Graph::new(), &g));
+    }
+}
