@@ -3,9 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ged_bench::validation_workload;
+use ged_ext::domain::domain_as_gdcs;
 use ged_ext::gdc::{gdc_satisfies_all, Gdc};
 use ged_ext::reason::gdc_satisfiable;
-use ged_ext::domain::domain_as_gdcs;
 use ged_graph::Value;
 
 fn bench_gdc_satisfiability(c: &mut Criterion) {
@@ -14,11 +14,7 @@ fn bench_gdc_satisfiability(c: &mut Criterion) {
     for doms in [1usize, 2, 3] {
         let mut sigma = Vec::new();
         for d in 0..doms {
-            let (a, b) = domain_as_gdcs(
-                &format!("τ{d}"),
-                "A",
-                &[Value::from(0), Value::from(1)],
-            );
+            let (a, b) = domain_as_gdcs(&format!("τ{d}"), "A", &[Value::from(0), Value::from(1)]);
             sigma.push(a);
             sigma.push(b);
         }
@@ -47,5 +43,9 @@ fn bench_gdc_validation_same_shape_as_ged(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gdc_satisfiability, bench_gdc_validation_same_shape_as_ged);
+criterion_group!(
+    benches,
+    bench_gdc_satisfiability,
+    bench_gdc_validation_same_shape_as_ged
+);
 criterion_main!(benches);

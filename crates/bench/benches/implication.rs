@@ -13,9 +13,11 @@ fn bench_gfdx_reduction(c: &mut Criterion) {
     for n in [3usize, 4, 5, 6] {
         let inst = ColoringInstance::cycle(n);
         let (sigma, goal) = implication_gfdx(&inst);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(sigma, goal), |b, (s, g)| {
-            b.iter(|| implies(s, g))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(sigma, goal),
+            |b, (s, g)| b.iter(|| implies(s, g)),
+        );
     }
     group.finish();
 }
@@ -26,9 +28,11 @@ fn bench_gkey_reduction(c: &mut Criterion) {
     for n in [3usize, 4, 5] {
         let inst = ColoringInstance::cycle(n);
         let (sigma, goal) = implication_gkey(&inst);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(sigma, goal), |b, (s, g)| {
-            b.iter(|| implies(s, g))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(sigma, goal),
+            |b, (s, g)| b.iter(|| implies(s, g)),
+        );
     }
     group.finish();
 }
@@ -38,12 +42,19 @@ fn bench_chain(c: &mut Criterion) {
     group.sample_size(10);
     for len in [4usize, 8, 16] {
         let (sigma, goal) = chain_implication(len);
-        group.bench_with_input(BenchmarkId::from_parameter(len), &(sigma, goal), |b, (s, g)| {
-            b.iter(|| implies(s, g))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(len),
+            &(sigma, goal),
+            |b, (s, g)| b.iter(|| implies(s, g)),
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_gfdx_reduction, bench_gkey_reduction, bench_chain);
+criterion_group!(
+    benches,
+    bench_gfdx_reduction,
+    bench_gkey_reduction,
+    bench_chain
+);
 criterion_main!(benches);

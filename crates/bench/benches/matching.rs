@@ -16,8 +16,14 @@ fn bench_semantics(c: &mut Criterion) {
     let g = random_graph(&cfg);
     for k in [3usize, 4] {
         let q = random_pattern(k, &cfg, 99);
-        for (name, sem) in [("homo", Semantics::Homomorphism), ("iso", Semantics::Isomorphism)] {
-            let opts = MatchOptions { semantics: sem, ..MatchOptions::default() };
+        for (name, sem) in [
+            ("homo", Semantics::Homomorphism),
+            ("iso", Semantics::Isomorphism),
+        ] {
+            let opts = MatchOptions {
+                semantics: sem,
+                ..MatchOptions::default()
+            };
             group.bench_with_input(
                 BenchmarkId::new(name, k),
                 &(q.clone(), opts),

@@ -29,5 +29,9 @@ fn bench_validation_vs_pattern_size(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_validation_vs_graph_size, bench_validation_vs_pattern_size);
+criterion_group!(
+    benches,
+    bench_validation_vs_graph_size,
+    bench_validation_vs_pattern_size
+);
 criterion_main!(benches);

@@ -121,7 +121,10 @@ fn exp_t1_sat() {
 }
 
 fn exp_t1_imp() {
-    header("EXP-T1-IMP", "Table 1, implication: NP-c for all five classes");
+    header(
+        "EXP-T1-IMP",
+        "Table 1, implication: NP-c for all five classes",
+    );
     println!(
         "{:<10} {:>6} | {:>10} {:>12} | {:>10} {:>12}",
         "instance", "3col?", "GFDx ⊨?", "GFDx µs", "GKey ⊨?", "GKey µs"
@@ -244,7 +247,10 @@ fn exp_t1_ext() {
 }
 
 fn exp_thm1() {
-    header("EXP-THM1", "Theorem 1: chase finiteness, bounds, Church–Rosser");
+    header(
+        "EXP-THM1",
+        "Theorem 1: chase finiteness, bounds, Church–Rosser",
+    );
     println!(
         "{:<18} {:>6} {:>7} {:>10} {:>10} {:>8}",
         "workload", "steps", "bound", "|Eq|", "|Eq| bnd", "CR ok?"
@@ -603,7 +609,8 @@ fn exp_abl_match() {
         b.node("a2", "album");
         b.node("r", "artist");
         b.edge("a1", "by", "r").edge("a2", "by", "r");
-        b.attr("a1", "title", "Bleach").attr("a2", "title", "Bleach");
+        b.attr("a1", "title", "Bleach")
+            .attr("a2", "title", "Bleach");
         b.build()
     };
     let psi1 = rules::psi1();

@@ -65,7 +65,8 @@ pub fn chain_implication(len: usize) -> (Vec<Ged>, Ged) {
         q.var("y", "t");
         q
     };
-    let lit = |i: usize| Literal::vars(Var(0), sym(&format!("A{i}")), Var(1), sym(&format!("A{i}")));
+    let lit =
+        |i: usize| Literal::vars(Var(0), sym(&format!("A{i}")), Var(1), sym(&format!("A{i}")));
     let sigma: Vec<Ged> = (0..len)
         .map(|i| Ged::new(format!("s{i}"), q(), vec![lit(i)], vec![lit(i + 1)]))
         .collect();

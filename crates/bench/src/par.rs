@@ -1,132 +1,18 @@
-//! Parallel validation — the paper's future-work item ("develop parallel
-//! scalable algorithms for reasoning about GEDs, to warrant speedup with
-//! the increase of processors", Section 9) realised for the validation
-//! problem, which is embarrassingly parallel at two levels:
-//!
-//! * **rule-level**: the GEDs of Σ validate independently;
-//! * **match-level**: for one GED, the match space partitions by the image
-//!   of a chosen pivot variable — each shard enumerates the matches whose
-//!   pivot lands in its slice of the candidate nodes.
-//!
-//! Both use `crossbeam::scope` (no `unsafe`, no `'static` bounds). The
-//! results are *identical* to the sequential validator (asserted by the
-//! tests), only faster on multi-core machines — measured in the
-//! `experiments` harness (EXP-PAR section).
+//! Parallel validation helpers — **promoted** to [`ged_engine::par`] so
+//! the incremental engine and the benches share one implementation; this
+//! module remains as a thin re-export for the bench harness and any older
+//! callers. The identical-to-sequential guarantee is asserted both here
+//! and in the engine's own tests.
 
-use crossbeam::thread;
-use ged_core::ged::Ged;
-use ged_core::satisfy::{literal_holds, literals_hold, Violation};
-use ged_graph::Graph;
-use ged_pattern::{MatchOptions, Matcher, Var};
-use std::ops::ControlFlow;
-
-/// Validate Σ by sharding the *rules* across `threads` workers. Returns
-/// per-GED violation counts (bounded by `limit` per GED).
-pub fn validate_rules_parallel(
-    g: &Graph,
-    sigma: &[Ged],
-    threads: usize,
-    limit: Option<usize>,
-) -> Vec<usize> {
-    assert!(threads >= 1);
-    let mut counts = vec![0usize; sigma.len()];
-    thread::scope(|s| {
-        let chunks: Vec<(usize, &[Ged])> = sigma
-            .chunks(sigma.len().div_ceil(threads).max(1))
-            .enumerate()
-            .collect();
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|(ci, chunk)| {
-                s.spawn(move |_| {
-                    chunk
-                        .iter()
-                        .map(|ged| ged_core::satisfy::violations(g, ged, limit).len())
-                        .collect::<Vec<_>>()
-                        .into_iter()
-                        .enumerate()
-                        .map(move |(i, n)| (ci, i, n))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        let chunk_size = sigma.len().div_ceil(threads).max(1);
-        for h in handles {
-            for (ci, i, n) in h.join().expect("validation worker") {
-                counts[ci * chunk_size + i] = n;
-            }
-        }
-    })
-    .expect("scope");
-    counts
-}
-
-/// Validate a single GED by sharding the *match space*: the candidate
-/// nodes of a pivot variable are split across `threads` workers, each
-/// enumerating only the matches whose pivot falls in its shard.
-/// Returns all violations (order may differ from sequential enumeration;
-/// the set is identical).
-pub fn violations_sharded(g: &Graph, ged: &Ged, threads: usize) -> Vec<Violation> {
-    assert!(threads >= 1);
-    if ged.pattern.var_count() == 0 {
-        return ged_core::satisfy::violations(g, ged, None);
-    }
-    // Pivot on the variable with the fewest candidates (most selective).
-    let pivot = ged
-        .pattern
-        .vars()
-        .min_by_key(|&v| g.label_candidates(ged.pattern.label(v)).len())
-        .unwrap_or(Var(0));
-    let candidates = g.label_candidates(ged.pattern.label(pivot));
-    if candidates.is_empty() {
-        return Vec::new();
-    }
-    let chunk = candidates.len().div_ceil(threads).max(1);
-    let mut all = Vec::new();
-    thread::scope(|s| {
-        let handles: Vec<_> = candidates
-            .chunks(chunk)
-            .map(|shard| {
-                s.spawn(move |_| {
-                    let mut out = Vec::new();
-                    let matcher = Matcher::new(&ged.pattern, g, MatchOptions::homomorphism());
-                    for &n in shard {
-                        matcher.for_each_seeded(&[(pivot, n)], |m| {
-                            if literals_hold(g, m, &ged.premises) {
-                                let failed: Vec<_> = ged
-                                    .conclusions
-                                    .iter()
-                                    .filter(|l| !literal_holds(g, m, l))
-                                    .cloned()
-                                    .collect();
-                                if !failed.is_empty() {
-                                    out.push(Violation {
-                                        ged_name: ged.name.clone(),
-                                        assignment: m.to_vec(),
-                                        failed,
-                                    });
-                                }
-                            }
-                            ControlFlow::Continue(())
-                        });
-                    }
-                    out
-                })
-            })
-            .collect();
-        for h in handles {
-            all.extend(h.join().expect("shard worker"));
-        }
-    })
-    .expect("scope");
-    all
-}
+pub use ged_engine::par::{validate_parallel, validate_rules_parallel, violations_sharded};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ged_core::ged::Ged;
     use ged_datagen::random::{plant_key_violations, random_graph, RandomGraphConfig};
     use ged_datagen::rules;
+    use ged_graph::Graph;
     use std::collections::HashSet;
 
     fn workload() -> (Graph, Ged) {
@@ -170,6 +56,16 @@ mod tests {
                 "{threads} threads"
             );
         }
+    }
+
+    #[test]
+    fn full_parallel_report_matches_sequential() {
+        let kb = ged_datagen::kb::generate(&ged_datagen::kb::KbConfig::default());
+        let sigma = rules::kb_rules();
+        let seq = ged_core::reason::validate(&kb.graph, &sigma, None);
+        let par = validate_parallel(&kb.graph, &sigma, 3, None);
+        assert_eq!(par.total_violations(), seq.total_violations());
+        assert_eq!(par.violated_names(), seq.violated_names());
     }
 
     #[test]

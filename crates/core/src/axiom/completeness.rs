@@ -80,12 +80,7 @@ pub fn prove(sigma: &[Ged], phi: &Ged) -> Result<Option<Proof>, ProofError> {
     let ident: Vec<Var> = phi.pattern.vars().collect();
     let targets: BTreeSet<Literal> = phi.conclusions.iter().cloned().collect();
     loop {
-        let have: BTreeSet<Literal> = b
-            .conclusion_of(cur)
-            .conclusions
-            .iter()
-            .cloned()
-            .collect();
+        let have: BTreeSet<Literal> = b.conclusion_of(cur).conclusions.iter().cloned().collect();
         if targets.is_subset(&have) {
             break;
         }
@@ -269,7 +264,9 @@ mod tests {
             ],
             vec![Literal::id(Var(0), Var(2)), Literal::id(Var(1), Var(3))],
         );
-        let proof = prove(&[phi1, phi2], &phi).unwrap().expect("Example 7 holds");
+        let proof = prove(&[phi1, phi2], &phi)
+            .unwrap()
+            .expect("Example 7 holds");
         proof.check().unwrap();
         assert!(proof.uses_rule("GED6"), "chase replay uses GED6");
     }

@@ -114,12 +114,7 @@ impl ProofBuilder {
                 premise,
                 literal: literal.clone(),
             },
-            conclusion: Ged::new(
-                "ged3",
-                p.pattern.clone(),
-                p.premises.clone(),
-                vec![literal],
-            ),
+            conclusion: Ged::new("ged3", p.pattern.clone(), p.premises.clone(), vec![literal]),
         })
     }
 
@@ -228,7 +223,10 @@ pub fn context_consistent(g: &Ged) -> bool {
 
 /// Prove reflexivity `Q(X → X)` (requires nonempty `X`).
 pub fn prove_reflexivity(pattern: &Pattern, x: Vec<Literal>) -> Result<Proof, ProofError> {
-    assert!(!x.is_empty(), "reflexivity with empty X is Q(∅ → ∅); use GED1 directly");
+    assert!(
+        !x.is_empty(),
+        "reflexivity with empty X is Q(∅ → ∅); use GED1 directly"
+    );
     let mut b = ProofBuilder::new(vec![]);
     let s0 = b.ged1(pattern, x.clone())?;
     b.subset(s0, x)?;
@@ -282,7 +280,11 @@ pub fn prove_transitivity(phi1: &Ged, phi2: &Ged) -> Result<Proof, ProofError> {
     }
     // (2) Q(X → X)  — via GED7 when X nonempty; when X is empty, GED1's
     // conclusion X_id plays the role of the carrier directly.
-    let carrier = if x.is_empty() { s1 } else { b.subset(s1, x.clone())? };
+    let carrier = if x.is_empty() {
+        s1
+    } else {
+        b.subset(s1, x.clone())?
+    };
     // (3) Q(X → Y)                                  [φ1]
     let s3 = b.hypothesis(0)?;
     // (4) Q(X → carrier ∧ Y)                        [(2), (3) and GED6]
@@ -351,7 +353,8 @@ mod tests {
         );
         let mut b = ProofBuilder::new(vec![phi]);
         let h = b.hypothesis(0).unwrap();
-        b.subset(h, vec![Literal::constant(Var(0), sym("A"), 1)]).unwrap();
+        b.subset(h, vec![Literal::constant(Var(0), sym("A"), 1)])
+            .unwrap();
         let proof = b.finish();
         proof.check().unwrap();
         assert!(proof.uses_rule("GED5"));

@@ -197,7 +197,9 @@ pub fn substitute(lit: &Literal, h: &[Var]) -> Literal {
 /// Does `term = (var, attr)` appear in any literal of `lits`?
 fn attr_appears(lits: &[Literal], var: Var, attr: Symbol) -> bool {
     lits.iter().any(|l| match l {
-        Literal::Const { var: v, attr: a, .. } => (*v, *a) == (var, attr),
+        Literal::Const {
+            var: v, attr: a, ..
+        } => (*v, *a) == (var, attr),
         Literal::Vars {
             lvar,
             lattr,
@@ -218,9 +220,7 @@ enum Term {
 
 fn endpoints(lit: &Literal) -> (Term, Term) {
     match lit {
-        Literal::Const { var, attr, value } => {
-            (Term::Attr(*var, *attr), Term::Cst(value.clone()))
-        }
+        Literal::Const { var, attr, value } => (Term::Attr(*var, *attr), Term::Cst(value.clone())),
         Literal::Vars {
             lvar,
             lattr,
@@ -253,7 +253,9 @@ impl Proof {
     /// Does the proof use the given rule anywhere? (Used by the
     /// independence tests.)
     pub fn uses_rule(&self, rule: &str) -> bool {
-        self.steps.iter().any(|s| s.justification.rule_name() == rule)
+        self.steps
+            .iter()
+            .any(|s| s.justification.rule_name() == rule)
     }
 
     /// Verify every step against the side conditions of Table 2.
@@ -264,7 +266,7 @@ impl Proof {
         Ok(())
     }
 
-    fn prior<'a>(&'a self, i: usize, idx: usize) -> Result<&'a Step, ProofError> {
+    fn prior(&self, i: usize, idx: usize) -> Result<&Step, ProofError> {
         if idx >= i {
             return Err(ProofError {
                 step: i,
@@ -275,7 +277,12 @@ impl Proof {
     }
 
     fn check_step(&self, i: usize, step: &Step) -> Result<(), ProofError> {
-        let fail = |m: String| Err(ProofError { step: i, message: m });
+        let fail = |m: String| {
+            Err(ProofError {
+                step: i,
+                message: m,
+            })
+        };
         let c = &step.conclusion;
         match &step.justification {
             Justification::Hypothesis(k) => {
@@ -355,16 +362,12 @@ impl Proof {
                 let (a2, b2) = endpoints(second);
                 // find the shared middle term; the conclusion links the
                 // two outer terms
-                let combos = [
-                    (&a1, &b1, &a2, &b2),
-                ];
-                let _ = combos;
                 let mut expected: Option<Literal> = None;
                 for (x1, m1) in [(&a1, &b1), (&b1, &a1)] {
                     for (m2, x2) in [(&a2, &b2), (&b2, &a2)] {
                         if m1 == m2 {
                             if let Some(l) = literal_from_terms(x1, x2) {
-                                if lit_set(&c.conclusions) == lit_set(&[l.clone()]) {
+                                if lit_set(&c.conclusions) == lit_set(std::slice::from_ref(&l)) {
                                     expected = Some(l);
                                 }
                             }
@@ -439,9 +442,7 @@ impl Proof {
                 for lit in &e.conclusion.premises {
                     let mapped_holds = eq_literal_holds(&eq, &assignment, lit);
                     if !mapped_holds {
-                        return fail(format!(
-                            "GED6: h(x̄1) does not satisfy X1 literal {lit:?}"
-                        ));
+                        return fail(format!("GED6: h(x̄1) does not satisfy X1 literal {lit:?}"));
                     }
                 }
                 // Conclusion must be Y ∪ h(Y1).
@@ -686,12 +687,7 @@ mod tests {
         };
         proof.check().unwrap();
         // With a consistent premise, GED5 must be rejected.
-        let consistent = Ged::new(
-            "s",
-            q,
-            vec![],
-            vec![Literal::constant(Var(0), sym("A"), 1)],
-        );
+        let consistent = Ged::new("s", q, vec![], vec![Literal::constant(Var(0), sym("A"), 1)]);
         let bad = Proof {
             sigma: vec![consistent.clone()],
             steps: vec![
@@ -744,16 +740,11 @@ mod tests {
                         embedded: 1,
                         h: vec![Var(1)],
                     },
-                    conclusion: Ged::new(
-                        "c6",
-                        q.clone(),
-                        vec![],
-                        {
-                            let mut y = xid(&q);
-                            y.push(Literal::constant(Var(1), sym("T"), 1));
-                            y
-                        },
-                    ),
+                    conclusion: Ged::new("c6", q.clone(), vec![], {
+                        let mut y = xid(&q);
+                        y.push(Literal::constant(Var(1), sym("T"), 1));
+                        y
+                    }),
                 },
             ],
         };
@@ -805,7 +796,12 @@ mod tests {
     fn ged6_rejects_label_mismatch() {
         let q = parse_pattern("a(x)").unwrap();
         let q1 = parse_pattern("b(u)").unwrap();
-        let emb = Ged::new("e", q1, vec![], vec![Literal::constant(Var(0), sym("T"), 1)]);
+        let emb = Ged::new(
+            "e",
+            q1,
+            vec![],
+            vec![Literal::constant(Var(0), sym("T"), 1)],
+        );
         let proof = Proof {
             sigma: vec![emb.clone()],
             steps: vec![

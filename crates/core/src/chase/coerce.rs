@@ -46,7 +46,10 @@ impl Coercion {
 /// Compute the coercion `G_Eq` of `eq` on `g`. `eq` must be consistent —
 /// the coercion of an inconsistent relation is undefined (Section 4.1).
 pub fn coerce(g: &Graph, eq: &EqRel) -> Coercion {
-    assert!(eq.is_consistent(), "coercion of an inconsistent Eq is undefined");
+    assert!(
+        eq.is_consistent(),
+        "coercion of an inconsistent Eq is undefined"
+    );
     let n = g.node_count();
     let mut root_to_class: HashMap<u32, u32> = HashMap::new();
     let mut class_of = vec![0u32; n];
@@ -70,7 +73,7 @@ pub fn coerce(g: &Graph, eq: &EqRel) -> Coercion {
             // via any member's known attributes in the original graph plus
             // generated slots. EqRel exposes them through attr_value.
             for member in eq.members(r) {
-                for (&a, _) in g.attrs(*member) {
+                for &a in g.attrs(*member).keys() {
                     if let Some(v) = eq.attr_value(r, a) {
                         m.insert(a, v.clone());
                     }
@@ -195,7 +198,10 @@ mod tests {
         eq.apply_attr_eq(x, sym("A"), y, sym("B"));
         let co = coerce(&g, &eq);
         assert_eq!(co.graph.attr(NodeId(0), sym("A")), None, "labelled null");
-        assert!(eq.attr_eq(x, sym("A"), y, sym("B")), "but Eq knows them equal");
+        assert!(
+            eq.attr_eq(x, sym("A"), y, sym("B")),
+            "but Eq knows them equal"
+        );
     }
 
     #[test]

@@ -57,7 +57,12 @@ pub enum Conflict {
 impl std::fmt::Display for Conflict {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Conflict::Label { a, a_label, b, b_label } => write!(
+            Conflict::Label {
+                a,
+                a_label,
+                b,
+                b_label,
+            } => write!(
                 f,
                 "label conflict: {a} ({a_label}) identified with {b} ({b_label})"
             ),
@@ -102,6 +107,13 @@ impl EqRel {
     /// `[x] = {x}` for every node and `[x.A] = {x.A, c}` for every
     /// attribute `x.A = c` in `F_A`.
     pub fn initial(g: &Graph) -> EqRel {
+        // The chase machinery (union-find, coercion, quotient) indexes
+        // dense NodeId tables; a graph that evolved through node removal
+        // must be compacted first.
+        assert!(
+            !g.has_removals(),
+            "the chase requires a graph without removed nodes — call Graph::compact() first"
+        );
         let n = g.node_count();
         let mut eq = EqRel {
             node_parent: (0..n as u32).collect(),
@@ -126,7 +138,10 @@ impl EqRel {
                 eq.bind_const_internal(slot, &val, (v, a));
             }
         }
-        debug_assert!(eq.is_consistent(), "Eq0 of a well-formed graph is consistent");
+        debug_assert!(
+            eq.is_consistent(),
+            "Eq0 of a well-formed graph is consistent"
+        );
         eq
     }
 
@@ -240,7 +255,10 @@ impl EqRel {
     /// The members of `[x]_Eq`.
     pub fn members(&self, x: NodeId) -> &[NodeId] {
         let root = self.find_node(x);
-        self.node_members.get(&root).map(Vec::as_slice).unwrap_or(&[])
+        self.node_members
+            .get(&root)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// The resolved label of `[x]_Eq` (`_` only when every member is
@@ -258,9 +276,7 @@ impl EqRel {
             .get(&root)
             .map(|m| {
                 m.iter()
-                    .map(|(&a, &c)| {
-                        (a, self.attr_const[self.find_attr(c) as usize].clone())
-                    })
+                    .map(|(&a, &c)| (a, self.attr_const[self.find_attr(c) as usize].clone()))
                     .collect()
             })
             .unwrap_or_default()
@@ -446,7 +462,7 @@ impl EqRel {
             .collect();
         partition.sort();
         // attribute classes: group every (member-node, attr) term by root
-        let mut classes: HashMap<u32, (Vec<(NodeId, String)>, Option<Value>)> = HashMap::new();
+        let mut classes: HashMap<u32, AttrClass> = HashMap::new();
         for (&node_root, slots) in &self.node_slots {
             let members = &self.node_members[&node_root];
             for (&attr, &slot) in slots {
@@ -459,7 +475,7 @@ impl EqRel {
                 }
             }
         }
-        let mut attr_classes: Vec<(Vec<(NodeId, String)>, Option<Value>)> = classes
+        let mut attr_classes: Vec<AttrClass> = classes
             .into_values()
             .map(|(mut terms, c)| {
                 terms.sort();
@@ -476,6 +492,10 @@ impl EqRel {
     }
 }
 
+/// One canonical attribute class: sorted `(node, attr-name)` terms plus
+/// the constant the class is bound to, if any.
+pub type AttrClass = (Vec<(NodeId, String)>, Option<Value>);
+
 /// Canonical description of an [`EqRel`]; used by the Church–Rosser tests
 /// and by result comparison in `chase::ChaseResult`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -485,7 +505,7 @@ pub struct EqSummary {
     /// Node partition, canonically sorted.
     pub partition: Vec<Vec<NodeId>>,
     /// Attribute classes: sorted `(node, attr-name)` terms + bound constant.
-    pub attr_classes: Vec<(Vec<(NodeId, String)>, Option<Value>)>,
+    pub attr_classes: Vec<AttrClass>,
 }
 
 #[cfg(test)]
@@ -543,7 +563,10 @@ mod tests {
         eq.apply_const(a, sym("A"), &Value::from(7));
         assert!(eq.apply_attr_eq(a, sym("A"), c, sym("B")));
         assert!(eq.attr_eq(a, sym("A"), c, sym("B")));
-        assert!(eq.attr_is(c, sym("B"), &Value::from(7)), "constant propagates");
+        assert!(
+            eq.attr_is(c, sym("B"), &Value::from(7)),
+            "constant propagates"
+        );
         assert!(!eq.apply_attr_eq(a, sym("A"), c, sym("B")), "idempotent");
     }
 
@@ -577,7 +600,10 @@ mod tests {
         eq.apply_const(a, sym("A"), &Value::from(1));
         eq.apply_const(c, sym("A"), &Value::from(2));
         assert!(eq.apply_id(a, c));
-        assert!(!eq.is_consistent(), "merging nodes with A=1 and A=2 conflicts");
+        assert!(
+            !eq.is_consistent(),
+            "merging nodes with A=1 and A=2 conflicts"
+        );
     }
 
     #[test]

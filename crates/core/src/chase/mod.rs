@@ -64,6 +64,7 @@ impl ChaseStats {
 
 /// The result of chasing `G` by `Σ` (Theorem 1 makes it well defined).
 #[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
 pub enum ChaseResult {
     /// All terminal sequences are valid: the common result `(Eq, G_Eq)`.
     Consistent {
@@ -431,12 +432,7 @@ mod tests {
         // Q[x](∅ → x.A = 1) on a graph whose node lacks A.
         let mut q = ged_pattern::Pattern::new();
         let x = q.var("x", "t");
-        let ged = Ged::new(
-            "gen",
-            q,
-            vec![],
-            vec![Literal::constant(x, sym("A"), 1)],
-        );
+        let ged = Ged::new("gen", q, vec![], vec![Literal::constant(x, sym("A"), 1)]);
         let mut g = Graph::new();
         let n = g.add_node(sym("t"));
         let ChaseResult::Consistent { eq, coercion, .. } = chase(&g, &[ged]) else {
@@ -463,7 +459,10 @@ mod tests {
     #[test]
     fn empty_sigma_chase_is_identity() {
         let (g, _) = fragments::fig2_graph();
-        let ChaseResult::Consistent { coercion, stats, .. } = chase(&g, &[]) else {
+        let ChaseResult::Consistent {
+            coercion, stats, ..
+        } = chase(&g, &[])
+        else {
             panic!()
         };
         assert_eq!(coercion.graph.node_count(), g.node_count());
@@ -505,7 +504,13 @@ mod tests {
             g.set_attr(n, sym("A"), 1);
         }
         let res = chase(&g, &[ex4_phi1()]);
-        let ChaseResult::Consistent { eq, coercion, stats, .. } = res else {
+        let ChaseResult::Consistent {
+            eq,
+            coercion,
+            stats,
+            ..
+        } = res
+        else {
             panic!()
         };
         assert_eq!(coercion.graph.node_count(), 1, "all six nodes merge");
@@ -554,8 +559,14 @@ mod cascade_tests {
             panic!("no conflicts possible here");
         };
         assert!(eq.node_eq(names["u"], names["v"]));
-        assert!(eq.attr_is(names["v"], sym("P"), &Value::from(1)), "congruence");
-        assert!(eq.attr_is(names["v"], sym("Q"), &Value::from(2)), "tag refired");
+        assert!(
+            eq.attr_is(names["v"], sym("P"), &Value::from(1)),
+            "congruence"
+        );
+        assert!(
+            eq.attr_is(names["v"], sym("Q"), &Value::from(2)),
+            "tag refired"
+        );
         let merged = coercion.coerced(names["u"]);
         assert_eq!(coercion.graph.attr(merged, sym("Q")), Some(&Value::from(2)));
     }
@@ -585,8 +596,12 @@ mod cascade_tests {
             vec![Literal::vars(Var(0), sym("L"), Var(1), sym("L"))],
             vec![Literal::id(Var(0), Var(1))],
         );
-        let ChaseResult::Consistent { eq, coercion, stats, .. } =
-            chase(&g, &[key_k, key_l])
+        let ChaseResult::Consistent {
+            eq,
+            coercion,
+            stats,
+            ..
+        } = chase(&g, &[key_k, key_l])
         else {
             panic!()
         };

@@ -116,7 +116,7 @@ impl Ged {
     /// [`Ged::gkey`].
     pub fn is_gkey(&self) -> bool {
         let n = self.pattern.var_count();
-        if n == 0 || n % 2 != 0 {
+        if n == 0 || !n.is_multiple_of(2) {
             return false;
         }
         let half = n / 2;

@@ -42,7 +42,7 @@ pub use chase::{chase, chase_from, chase_random, ChaseResult, ChaseStats, Confli
 pub use ged::{sigma_size, Ged, GedClass};
 pub use literal::Literal;
 pub use reason::{build_model, implies, is_satisfiable, validate, ValidationReport};
-pub use satisfy::{is_model, satisfies, satisfies_all, violations, Violation};
+pub use satisfy::{check_violation, is_model, satisfies, satisfies_all, violations, Violation};
 
 #[cfg(test)]
 mod proptests {

@@ -49,7 +49,10 @@ impl Literal {
     /// Constant literal `x.A = c`. Panics if `A` is the `id` attribute
     /// (the paper excludes it from constant/variable literals).
     pub fn constant(var: Var, attr: Symbol, value: impl Into<Value>) -> Literal {
-        assert!(attr != Symbol::ID, "constant literals must not use the id attribute");
+        assert!(
+            attr != Symbol::ID,
+            "constant literals must not use the id attribute"
+        );
         Literal::Const {
             var,
             attr,

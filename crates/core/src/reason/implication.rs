@@ -135,7 +135,10 @@ mod tests {
         let (sigma, phi) = example7();
         let out = implication(&sigma, &phi);
         assert!(out.holds, "Σ ⊨ ϕ (Example 7)");
-        assert!(!out.premise_unsatisfiable, "decided by deduction, not conflict");
+        assert!(
+            !out.premise_unsatisfiable,
+            "decided by deduction, not conflict"
+        );
         assert_eq!(out.deduced, vec![true, true]);
     }
 
@@ -213,7 +216,7 @@ mod tests {
         let specific = Ged::new("s", qs, vec![], vec![lit.clone()]);
         let general = Ged::new("g", qg, vec![], vec![lit]);
         assert!(
-            implies(&[general.clone()], &specific),
+            implies(std::slice::from_ref(&general), &specific),
             "general pattern subsumes the specific one"
         );
         assert!(
@@ -240,7 +243,7 @@ mod tests {
                 Literal::vars(o[0], sym("genre"), c[0], sym("genre")),
             ]
         });
-        assert!(implies(&[psi2.clone()], &weaker));
+        assert!(implies(std::slice::from_ref(&psi2), &weaker));
         assert!(!implies(&[weaker], &psi2));
     }
 

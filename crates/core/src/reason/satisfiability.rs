@@ -134,9 +134,7 @@ pub fn build_model(sigma: &[Ged]) -> Option<Graph> {
                             let next = null_names.len();
                             let v = null_names
                                 .entry(class)
-                                .or_insert_with(|| {
-                                    ged_graph::Value::Str(format!("⊥{next}"))
-                                })
+                                .or_insert_with(|| ged_graph::Value::Str(format!("⊥{next}")))
                                 .clone();
                             model.set_attr(coerced, attr, v);
                         }
@@ -227,7 +225,7 @@ mod tests {
         // sensible model exists — the paper's argument for homomorphism.)
         let q = fragments::uoe_pattern();
         let ged = Ged::new("ϕ", q, vec![], vec![Literal::id(Var(0), Var(1))]);
-        let out = satisfiability(&[ged.clone()]);
+        let out = satisfiability(std::slice::from_ref(&ged));
         assert!(out.satisfiable);
         let model = build_model(&[ged]).unwrap();
         assert_eq!(
@@ -248,7 +246,7 @@ mod tests {
             vec![Literal::constant(y, sym("type"), "video game")],
             vec![Literal::constant(x, sym("type"), "programmer")],
         );
-        let model = build_model(&[phi1.clone()]).unwrap();
+        let model = build_model(std::slice::from_ref(&phi1)).unwrap();
         assert!(is_model(&model, &[phi1]));
     }
 
@@ -274,7 +272,10 @@ mod tests {
             vec![],
             vec![Literal::vars(y, sym("name"), z, sym("name"))],
         );
-        assert_eq!(is_trivially_satisfiable(&[phi2.clone()]), Some(true));
+        assert_eq!(
+            is_trivially_satisfiable(std::slice::from_ref(&phi2)),
+            Some(true)
+        );
         assert!(is_satisfiable(&[phi2]));
         // but a GED with constants is not syntactically trivial
         let q = parse_pattern("t(x)").unwrap();
@@ -296,7 +297,12 @@ mod tests {
         // Q[x](∅ → x.A = 1) and Q[x](∅ → x.A = 2) on the same label.
         let mk = |name: &str, v: i64| {
             let q = parse_pattern("t(x)").unwrap();
-            Ged::new(name, q, vec![], vec![Literal::constant(Var(0), sym("A"), v)])
+            Ged::new(
+                name,
+                q,
+                vec![],
+                vec![Literal::constant(Var(0), sym("A"), v)],
+            )
         };
         assert!(!is_satisfiable(&[mk("a", 1), mk("b", 2)]));
         assert!(is_satisfiable(&[mk("a", 1), mk("c", 1)]));
@@ -313,7 +319,7 @@ mod tests {
             vec![],
             vec![Literal::vars(Var(0), sym("A"), Var(0), sym("B"))],
         );
-        let model = build_model(&[g1.clone()]).unwrap();
+        let model = build_model(std::slice::from_ref(&g1)).unwrap();
         assert!(is_model(&model, &[g1]));
         let n = model.nodes_with_label(sym("t"))[0];
         assert_eq!(model.attr(n, sym("A")), model.attr(n, sym("B")));

@@ -167,7 +167,10 @@ mod tests {
         assert_eq!(report.per_ged.len(), 2);
         assert_eq!(report.violated_names(), vec!["φ1", "φ2"]);
         assert_eq!(report.per_ged[0].violation_count, 1);
-        assert_eq!(report.per_ged[1].violation_count, 2, "two symmetric matches");
+        assert_eq!(
+            report.per_ged[1].violation_count, 2,
+            "two symmetric matches"
+        );
         assert_eq!(report.total_violations(), 3);
     }
 

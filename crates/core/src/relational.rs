@@ -203,12 +203,7 @@ pub fn egd_to_geds(egd: &Egd) -> (Ged, Ged) {
     let phi_r = Ged::new("φ_R", q.clone(), vec![], y_r);
     // φ_E: the equalities imply the conclusion.
     let lit_of = |p: &(usize, String), p2: &(usize, String)| {
-        Literal::vars(
-            vars[p.0],
-            Symbol::new(&p.1),
-            vars[p2.0],
-            Symbol::new(&p2.1),
-        )
+        Literal::vars(vars[p.0], Symbol::new(&p.1), vars[p2.0], Symbol::new(&p2.1))
     };
     let x_e: Vec<Literal> = egd
         .equalities
@@ -377,7 +372,7 @@ mod tests {
         };
         let bad = employees(vec![vec![v("e1"), v("hr"), v("m1"), v("44")]]);
         let ged = cfd_to_ged(&cfd);
-        let g = encode_relations(&[bad.clone()]);
+        let g = encode_relations(std::slice::from_ref(&bad));
         assert!(!relation_satisfies_cfd(&bad, &cfd));
         assert!(!satisfies(&g, &ged));
     }
@@ -399,7 +394,10 @@ mod tests {
         let rel = Relation::new(
             "R",
             &["a", "b"],
-            vec![vec![Value::from(1), Value::from(2)], vec![Value::from(1), Value::from(3)]],
+            vec![
+                vec![Value::from(1), Value::from(2)],
+                vec![Value::from(1), Value::from(3)],
+            ],
         );
         let g = encode_relations(&[rel]);
         assert!(satisfies(&g, &phi_r), "attributes all exist");

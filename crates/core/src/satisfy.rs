@@ -55,6 +55,27 @@ pub struct Violation {
     pub failed: Vec<Literal>,
 }
 
+/// The single-match violation check shared by [`violations`], the
+/// parallel sharded validators, and the incremental engine: does `m`
+/// satisfy `X` but fail part of `Y`? Returns the failed conclusion
+/// literals if so.
+pub fn check_violation(g: &Graph, m: &[NodeId], ged: &Ged) -> Option<Vec<Literal>> {
+    if !literals_hold(g, m, &ged.premises) {
+        return None;
+    }
+    let failed: Vec<Literal> = ged
+        .conclusions
+        .iter()
+        .filter(|l| !literal_holds(g, m, l))
+        .cloned()
+        .collect();
+    if failed.is_empty() {
+        None
+    } else {
+        Some(failed)
+    }
+}
+
 /// Enumerate violations of `ged` in `g`, stopping after `limit` if given.
 /// This is the NP-witness search of Theorem 6's `G ⊭ Σ` algorithm: guess a
 /// match, check `⊨ X` and `⊭ Y`.
@@ -62,23 +83,15 @@ pub fn violations(g: &Graph, ged: &Ged, limit: Option<usize>) -> Vec<Violation> 
     let mut out = Vec::new();
     let matcher = Matcher::new(&ged.pattern, g, MatchOptions::homomorphism());
     matcher.for_each(|m| {
-        if literals_hold(g, m, &ged.premises) {
-            let failed: Vec<Literal> = ged
-                .conclusions
-                .iter()
-                .filter(|l| !literal_holds(g, m, l))
-                .cloned()
-                .collect();
-            if !failed.is_empty() {
-                out.push(Violation {
-                    ged_name: ged.name.clone(),
-                    assignment: m.to_vec(),
-                    failed,
-                });
-                if let Some(k) = limit {
-                    if out.len() >= k {
-                        return ControlFlow::Break(());
-                    }
+        if let Some(failed) = check_violation(g, m, ged) {
+            out.push(Violation {
+                ged_name: ged.name.clone(),
+                assignment: m.to_vec(),
+                failed,
+            });
+            if let Some(k) = limit {
+                if out.len() >= k {
+                    return ControlFlow::Break(());
                 }
             }
         }
@@ -284,14 +297,16 @@ mod tests {
         let mut b = GraphBuilder::new();
         b.node("a1", "album");
         b.node("a2", "album");
-        b.attr("a1", "title", "Bleach").attr("a2", "title", "Bleach");
+        b.attr("a1", "title", "Bleach")
+            .attr("a2", "title", "Bleach");
         let g = b.build();
         assert!(!satisfies(&g, &key));
         // Distinct titles: fine.
         let mut b2 = GraphBuilder::new();
         b2.node("a1", "album");
         b2.node("a2", "album");
-        b2.attr("a1", "title", "Bleach").attr("a2", "title", "Nevermind");
+        b2.attr("a1", "title", "Bleach")
+            .attr("a2", "title", "Nevermind");
         assert!(satisfies(&b2.build(), &key));
     }
 

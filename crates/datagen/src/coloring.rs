@@ -251,12 +251,7 @@ pub fn implication_gkey(inst: &ColoringInstance) -> (Vec<Ged>, Ged) {
 pub fn satisfiability_gfd(inst: &ColoringInstance) -> Vec<Ged> {
     let flag = sym("flag");
     let qg = instance_pattern(inst, "x");
-    let phi_g = Ged::new(
-        "φ_G",
-        qg,
-        vec![],
-        vec![Literal::constant(Var(0), flag, 0)],
-    );
+    let phi_g = Ged::new("φ_G", qg, vec![], vec![Literal::constant(Var(0), flag, 0)]);
     let qk = k3_pattern(true);
     let phi_k = Ged::new(
         "φ_K3",

@@ -250,6 +250,10 @@ mod tests {
         let inst = generate(&cfg);
         assert!(inst.planted.is_empty());
         let report = validate(&inst.graph, &rules::kb_rules(), None);
-        assert!(report.satisfied(), "violated: {:?}", report.violated_names());
+        assert!(
+            report.satisfied(),
+            "violated: {:?}",
+            report.violated_names()
+        );
     }
 }

@@ -185,8 +185,9 @@ mod tests {
         };
         let inst = generate(&cfg);
         assert!(satisfies_all(&inst.graph, &music_keys()));
-        let ChaseResult::Consistent { coercion, stats, .. } =
-            chase(&inst.graph, &music_keys())
+        let ChaseResult::Consistent {
+            coercion, stats, ..
+        } = chase(&inst.graph, &music_keys())
         else {
             panic!()
         };
@@ -202,8 +203,7 @@ mod tests {
             seed: 9,
         };
         let inst = generate(&cfg);
-        let ChaseResult::Consistent { coercion, .. } =
-            chase(&inst.graph, &[crate::rules::psi2()])
+        let ChaseResult::Consistent { coercion, .. } = chase(&inst.graph, &[crate::rules::psi2()])
         else {
             panic!()
         };

@@ -111,7 +111,11 @@ pub fn random_ged(name: &str, pattern_size: usize, cfg: &RandomGraphConfig, seed
     let conclusions = if rng.random_bool(0.5) {
         vec![Literal::vars(vx, a1, vy, a1)]
     } else {
-        vec![Literal::constant(vx, a1, rng.random_range(0..cfg.value_range))]
+        vec![Literal::constant(
+            vx,
+            a1,
+            rng.random_range(0..cfg.value_range),
+        )]
     };
     Ged::new(name, q, premises, conclusions)
 }
@@ -119,7 +123,14 @@ pub fn random_ged(name: &str, pattern_size: usize, cfg: &RandomGraphConfig, seed
 /// A random Σ of `count` GEDs with the given pattern size.
 pub fn random_sigma(count: usize, pattern_size: usize, cfg: &RandomGraphConfig) -> Vec<Ged> {
     (0..count)
-        .map(|i| random_ged(&format!("r{i}"), pattern_size, cfg, cfg.seed + 1000 + i as u64))
+        .map(|i| {
+            random_ged(
+                &format!("r{i}"),
+                pattern_size,
+                cfg,
+                cfg.seed + 1000 + i as u64,
+            )
+        })
         .collect()
 }
 
@@ -160,15 +171,9 @@ mod tests {
         let b = random_graph(&cfg);
         assert_eq!(a.node_count(), b.node_count());
         assert_eq!(a.edge_count(), b.edge_count());
-        let c = random_graph(&RandomGraphConfig {
-            seed: 18,
-            ..cfg
-        });
+        let c = random_graph(&RandomGraphConfig { seed: 18, ..cfg });
         // overwhelmingly likely to differ
-        assert!(
-            a.edge_count() != c.edge_count()
-                || a.edges().zip(c.edges()).any(|(x, y)| x != y)
-        );
+        assert!(a.edge_count() != c.edge_count() || a.edges().zip(c.edges()).any(|(x, y)| x != y));
     }
 
     #[test]

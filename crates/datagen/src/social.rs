@@ -67,7 +67,11 @@ pub fn generate(cfg: &SocialConfig) -> SocialInstance {
         for j in 0..cfg.blogs_per_account {
             let blog = format!("blog_{i}_{j}");
             b.node(&blog, "blog");
-            b.attr(&blog, "keyword", format!("topic_{}", rng.random_range(0..10)));
+            b.attr(
+                &blog,
+                "keyword",
+                format!("topic_{}", rng.random_range(0..10)),
+            );
             b.edge(&a, "post", &blog);
             b.edge(&a, "like", &blog);
         }
@@ -182,8 +186,10 @@ mod tests {
 
     #[test]
     fn no_cascade_without_seed() {
-        let mut cfg = SocialConfig::default();
-        cfg.chain_len = 3;
+        let cfg = SocialConfig {
+            chain_len: 3,
+            ..Default::default()
+        };
         let inst = generate(&cfg);
         let mut g = inst.graph.clone();
         // Clear the seed's flag.

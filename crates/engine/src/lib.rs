@@ -1,0 +1,72 @@
+//! # ged-engine — incremental, parallel validation over evolving graphs
+//!
+//! The paper's Section 9 leaves "parallel scalable algorithms for reasoning
+//! about GEDs" as future work; validation (`G ⊨ Σ`, Section 5.3) is the
+//! reasoning problem a deployed system faces on *every* update. This crate
+//! supplies the production answer in two layers:
+//!
+//! * [`par`] — parallel *from-scratch* validation: rule-level sharding
+//!   (the GEDs of Σ validate independently) and match-level sharding (the
+//!   match space of one GED partitions by the image of a pivot variable),
+//!   promoted here from the old bench-local helper;
+//! * [`IncrementalValidator`] — **delta-driven violation maintenance**: it
+//!   owns the graph and a persistent [`ViolationStore`] keyed by
+//!   (GED, witness match), ingests [`Delta`]s / batched [`DeltaSet`]s, and
+//!   after each update recomputes only the *affected area* — matches whose
+//!   image intersects the nodes the delta touched — instead of re-running
+//!   full validation.
+//!
+//! The affected-area argument (see `DESIGN.md` §4 for the proof sketch):
+//! a delta can change the violation status only of matches whose image
+//! meets its footprint of touched nodes, because (1) pattern matching is
+//! monotone in nodes/edges, so created *and* destroyed matches alike use
+//! an element incident to the footprint, and (2) literal satisfaction
+//! reads only the attributes of matched nodes.
+//!
+//! ```
+//! use ged_engine::IncrementalValidator;
+//! use ged_core::{Ged, Literal};
+//! use ged_graph::{sym, Delta, GraphBuilder, Value};
+//! use ged_pattern::parse_pattern;
+//!
+//! // φ1: video games are created by programmers.
+//! let q = parse_pattern("person(x) -[create]-> product(y)").unwrap();
+//! let (x, y) = (q.var_by_name("x").unwrap(), q.var_by_name("y").unwrap());
+//! let phi1 = Ged::new(
+//!     "φ1",
+//!     q,
+//!     vec![Literal::constant(y, sym("type"), "video game")],
+//!     vec![Literal::constant(x, sym("type"), "programmer")],
+//! );
+//!
+//! let mut b = GraphBuilder::new();
+//! b.triple(("tony", "person"), "create", ("gb", "product"));
+//! b.attr("tony", "type", "psychologist");
+//! b.attr("gb", "type", "video game");
+//! let (graph, names) = b.build_with_names();
+//!
+//! let mut v = IncrementalValidator::new(graph, vec![phi1]);
+//! assert!(!v.is_satisfied(), "the Ghetto Blaster inconsistency");
+//!
+//! // Fixing Tony's type repairs the violation — incrementally.
+//! v.apply(&Delta::SetAttr {
+//!     node: names["tony"],
+//!     attr: sym("type"),
+//!     value: Value::from("programmer"),
+//! });
+//! assert!(v.is_satisfied());
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod par;
+pub mod store;
+pub mod validator;
+
+pub use par::{validate_parallel, validate_rules_parallel, violations_sharded};
+pub use store::ViolationStore;
+pub use validator::{ApplyStats, IncrementalValidator};
+
+// Re-export the delta vocabulary so engine users need only one import.
+pub use ged_graph::{Delta, DeltaEffect, DeltaSet};

@@ -1,0 +1,172 @@
+//! The persistent violation store: every currently-violating witness match,
+//! keyed by (GED index, match), maintained across deltas.
+
+use ged_core::ged::Ged;
+use ged_core::literal::Literal;
+use ged_core::reason::{GedReport, ValidationReport};
+use ged_core::satisfy::Violation;
+use ged_graph::NodeId;
+use ged_pattern::Match;
+use std::collections::{HashMap, HashSet};
+
+/// All violations of `G ⊨ Σ`, indexed per GED and keyed by the witness
+/// match `h(x̄)`. The store is the engine's materialised view: after every
+/// delta it is *exactly* the violation set a from-scratch [`validate`]
+/// (with no limit) would produce — the invariant the randomized
+/// incremental-vs-full tests assert.
+///
+/// [`validate`]: ged_core::reason::validate
+#[derive(Debug, Clone, Default)]
+pub struct ViolationStore {
+    per_ged: Vec<HashMap<Match, Vec<Literal>>>,
+}
+
+impl ViolationStore {
+    /// An empty store for `n_geds` dependencies.
+    pub fn new(n_geds: usize) -> ViolationStore {
+        ViolationStore {
+            per_ged: (0..n_geds).map(|_| HashMap::new()).collect(),
+        }
+    }
+
+    /// Record (or overwrite) the failed conclusion literals of one witness.
+    pub fn insert(&mut self, ged: usize, assignment: Match, failed: Vec<Literal>) {
+        debug_assert!(!failed.is_empty(), "a violation needs failed literals");
+        self.per_ged[ged].insert(assignment, failed);
+    }
+
+    /// Forget one witness. Returns `true` if it was present.
+    pub fn remove(&mut self, ged: usize, assignment: &[NodeId]) -> bool {
+        self.per_ged[ged].remove(assignment).is_some()
+    }
+
+    /// Number of GEDs the store tracks.
+    pub fn ged_count(&self) -> usize {
+        self.per_ged.len()
+    }
+
+    /// Violations currently recorded for one GED.
+    pub fn count_for(&self, ged: usize) -> usize {
+        self.per_ged[ged].len()
+    }
+
+    /// Total violations across all GEDs.
+    pub fn total(&self) -> usize {
+        self.per_ged.iter().map(HashMap::len).sum()
+    }
+
+    /// Is `G ⊨ Σ` according to the store?
+    pub fn is_empty(&self) -> bool {
+        self.per_ged.iter().all(HashMap::is_empty)
+    }
+
+    /// Drop every witness whose assignment intersects `touched`. Called
+    /// with the union of the deltas' footprints — *including* just-removed
+    /// ids — before re-enumerating the affected area, so stale entries
+    /// cannot survive an attribute change, a rewired edge, or a removal
+    /// (a match that used a removed edge necessarily contains both of its
+    /// endpoints, so it intersects the footprint).
+    pub fn drop_intersecting(&mut self, touched: &HashSet<NodeId>) {
+        if touched.is_empty() {
+            return;
+        }
+        for map in &mut self.per_ged {
+            map.retain(|m, _| !m.iter().any(|n| touched.contains(n)));
+        }
+    }
+
+    /// Render the store as a [`ValidationReport`] in Σ order, with the
+    /// witnesses of each GED sorted by assignment for determinism.
+    pub fn to_report(&self, sigma: &[Ged]) -> ValidationReport {
+        let mut per_ged = Vec::with_capacity(sigma.len());
+        let mut violations = Vec::with_capacity(self.total());
+        for (gi, ged) in sigma.iter().enumerate() {
+            let map = &self.per_ged[gi];
+            per_ged.push(GedReport {
+                name: ged.name.clone(),
+                violation_count: map.len(),
+                satisfied: map.is_empty(),
+            });
+            let mut entries: Vec<(&Match, &Vec<Literal>)> = map.iter().collect();
+            entries.sort_by(|a, b| a.0.cmp(b.0));
+            violations.extend(entries.into_iter().map(|(m, failed)| Violation {
+                ged_name: ged.name.clone(),
+                assignment: m.clone(),
+                failed: failed.clone(),
+            }));
+        }
+        ValidationReport {
+            per_ged,
+            violations,
+        }
+    }
+
+    /// Iterate over `(ged index, assignment, failed literals)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Match, &Vec<Literal>)> + '_ {
+        self.per_ged
+            .iter()
+            .enumerate()
+            .flat_map(|(gi, map)| map.iter().map(move |(m, f)| (gi, m, f)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ged_graph::sym;
+    use ged_pattern::{parse_pattern, Var};
+
+    fn key_ged() -> Ged {
+        let q = parse_pattern("t(x); t(y)").unwrap();
+        Ged::new(
+            "key",
+            q,
+            vec![Literal::vars(Var(0), sym("k"), Var(1), sym("k"))],
+            vec![Literal::id(Var(0), Var(1))],
+        )
+    }
+
+    #[test]
+    fn insert_remove_and_counts() {
+        let mut s = ViolationStore::new(2);
+        s.insert(
+            0,
+            vec![NodeId(0), NodeId(1)],
+            vec![Literal::id(Var(0), Var(1))],
+        );
+        s.insert(1, vec![NodeId(2)], vec![Literal::id(Var(0), Var(0))]);
+        assert_eq!(s.total(), 2);
+        assert_eq!(s.count_for(0), 1);
+        assert!(!s.is_empty());
+        assert!(s.remove(0, &[NodeId(0), NodeId(1)]));
+        assert!(!s.remove(0, &[NodeId(0), NodeId(1)]));
+        assert_eq!(s.total(), 1);
+    }
+
+    #[test]
+    fn drop_intersecting_only_hits_touched_witnesses() {
+        let mut s = ViolationStore::new(1);
+        let lit = vec![Literal::id(Var(0), Var(1))];
+        s.insert(0, vec![NodeId(0), NodeId(1)], lit.clone());
+        s.insert(0, vec![NodeId(2), NodeId(3)], lit);
+        let touched: HashSet<NodeId> = [NodeId(1)].into_iter().collect();
+        s.drop_intersecting(&touched);
+        assert_eq!(s.total(), 1);
+        assert_eq!(s.count_for(0), 1);
+    }
+
+    #[test]
+    fn report_is_sorted_and_in_sigma_order() {
+        let sigma = vec![key_ged()];
+        let mut s = ViolationStore::new(1);
+        let lit = vec![Literal::id(Var(0), Var(1))];
+        s.insert(0, vec![NodeId(5), NodeId(6)], lit.clone());
+        s.insert(0, vec![NodeId(1), NodeId(2)], lit);
+        let r = s.to_report(&sigma);
+        assert!(!r.satisfied());
+        assert_eq!(r.per_ged.len(), 1);
+        assert_eq!(r.per_ged[0].violation_count, 2);
+        assert_eq!(r.violations[0].assignment, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(r.violations[1].assignment, vec![NodeId(5), NodeId(6)]);
+    }
+}

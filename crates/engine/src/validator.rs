@@ -1,0 +1,476 @@
+//! The incremental validator: delta-driven maintenance of `G ⊨ Σ`.
+//!
+//! ## The affected-area algorithm
+//!
+//! Let `T` be the union of the deltas' footprints ([`DeltaEffect::touched`]):
+//! the node of an attribute write, the endpoints of an added or explicitly
+//! removed edge, a created node, or — for `RemoveNode` — just the dead id
+//! itself (its implicitly removed edges contribute nothing further; see
+//! fact 2). Two facts make `T` a complete boundary for the update:
+//!
+//! 1. **New violations localise to `T`.** A violating match that exists
+//!    after the update but was not stored before is either a brand-new
+//!    match — so its image uses a new node or new edge, both of which put
+//!    a touched node in the image — or an old match whose literal status
+//!    flipped, which requires an attribute change on a matched node, again
+//!    a touched node in the image.
+//! 2. **Dead witnesses intersect `T` too.** A match killed by the update
+//!    used a removed node (the dead id is in `T` and in the match's image)
+//!    or an explicitly removed edge (both endpoints are in its image and
+//!    in `T`). An edge removed *implicitly* by `RemoveNode` only affects
+//!    matches whose image contains the dead endpoint — the first case.
+//!
+//! Hence the per-update recipe: apply the deltas; drop every stored
+//! witness whose image meets `T` (dead ids still included); then
+//! re-enumerate only matches whose image meets the *live* part of `T` via
+//! anchored matching ([`Matcher::for_each_anchored`]) and store the
+//! violating ones. Each re-enumerated match is counted exactly once by a
+//! responsibility rule: the *first* pattern variable (in declaration
+//! order) mapped into `T` owns the match.
+//!
+//! Recomputation fans out across worker threads at rule granularity —
+//! the same sharding [`par`](crate::par) uses for full validation.
+
+use crate::store::ViolationStore;
+use ged_core::ged::Ged;
+use ged_core::literal::Literal;
+use ged_core::reason::ValidationReport;
+use ged_core::satisfy::{check_violation, violations};
+use ged_graph::{Delta, DeltaEffect, DeltaSet, Graph, NodeId};
+use ged_pattern::{Match, MatchOptions, Matcher};
+use std::collections::HashSet;
+use std::ops::ControlFlow;
+
+/// What one [`IncrementalValidator::apply`] / [`apply_all`] call did.
+///
+/// [`apply_all`]: IncrementalValidator::apply_all
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ApplyStats {
+    /// Deltas that actually changed the graph (no-ops excluded).
+    pub deltas_applied: usize,
+    /// Witnesses dropped from the store (died or superseded).
+    pub violations_removed: usize,
+    /// Witnesses (re-)added by affected-area re-enumeration.
+    pub violations_added: usize,
+    /// Nodes in the touched set that seeded re-enumeration.
+    pub touched_nodes: usize,
+    /// Ids of the nodes created by `AddNode` deltas, in application order —
+    /// the handle callers need to target a just-inserted node with
+    /// follow-up deltas (the validator owns the graph, so there is no
+    /// other way to learn them).
+    pub created: Vec<NodeId>,
+}
+
+/// Maintains the violation set of `G ⊨ Σ` under a stream of updates.
+///
+/// Owns the graph (updates must flow through the validator so the store
+/// stays consistent) and a [`ViolationStore`] that after every call equals
+/// what a from-scratch [`validate`] with no witness limit would produce.
+///
+/// [`validate`]: ged_core::reason::validate
+#[derive(Debug, Clone)]
+pub struct IncrementalValidator {
+    graph: Graph,
+    sigma: Vec<Ged>,
+    store: ViolationStore,
+    threads: usize,
+}
+
+impl IncrementalValidator {
+    /// Build a validator, seeding the store with a full validation pass
+    /// (parallel across rules). Uses all available cores.
+    pub fn new(graph: Graph, sigma: Vec<Ged>) -> IncrementalValidator {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        IncrementalValidator::with_threads(graph, sigma, threads)
+    }
+
+    /// As [`IncrementalValidator::new`] with an explicit worker count
+    /// (`1` = fully sequential).
+    pub fn with_threads(graph: Graph, sigma: Vec<Ged>, threads: usize) -> IncrementalValidator {
+        assert!(threads >= 1);
+        let mut store = ViolationStore::new(sigma.len());
+        let per_ged: Vec<Vec<(Match, Vec<Literal>)>> = run_sharded(threads, &sigma, |ged| {
+            violations(&graph, ged, None)
+                .into_iter()
+                .map(|v| (v.assignment, v.failed))
+                .collect()
+        });
+        for (gi, vs) in per_ged.into_iter().enumerate() {
+            for (m, failed) in vs {
+                store.insert(gi, m, failed);
+            }
+        }
+        IncrementalValidator {
+            graph,
+            sigma,
+            store,
+            threads,
+        }
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The rule set Σ.
+    pub fn sigma(&self) -> &[Ged] {
+        &self.sigma
+    }
+
+    /// The maintained violation store.
+    pub fn store(&self) -> &ViolationStore {
+        &self.store
+    }
+
+    /// `G ⊨ Σ` right now?
+    pub fn is_satisfied(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Total number of current violations.
+    pub fn violation_count(&self) -> usize {
+        self.store.total()
+    }
+
+    /// The current violations as a [`ValidationReport`] (Σ order, witnesses
+    /// sorted per GED).
+    pub fn report(&self) -> ValidationReport {
+        self.store.to_report(&self.sigma)
+    }
+
+    /// Apply one delta and maintain the store.
+    pub fn apply(&mut self, delta: &Delta) -> ApplyStats {
+        let effect = self.graph.apply_delta(delta);
+        self.maintain(std::iter::once(effect))
+    }
+
+    /// Apply a batch of deltas left to right, then maintain the store once
+    /// over the union of their touched sets — cheaper than per-delta
+    /// maintenance when deltas cluster in the same region.
+    pub fn apply_all(&mut self, deltas: &DeltaSet) -> ApplyStats {
+        let effects: Vec<DeltaEffect> = deltas
+            .deltas()
+            .iter()
+            .map(|d| self.graph.apply_delta(d))
+            .collect();
+        self.maintain(effects)
+    }
+
+    /// Prune and re-derive the store after the given effects.
+    fn maintain(&mut self, effects: impl IntoIterator<Item = DeltaEffect>) -> ApplyStats {
+        let mut stats = ApplyStats::default();
+        let mut touched: HashSet<NodeId> = HashSet::new();
+        for eff in effects {
+            if !eff.changed {
+                continue;
+            }
+            stats.deltas_applied += 1;
+            stats.created.extend(eff.created);
+            touched.extend(eff.touched);
+        }
+        if stats.deltas_applied == 0 {
+            return stats;
+        }
+
+        let before = self.store.total();
+        // Drop while `touched` still holds removed ids, so witnesses of
+        // dead nodes (and of edges whose endpoints these are) go too.
+        self.store.drop_intersecting(&touched);
+        let pruned = self.store.total();
+        stats.violations_removed = before - pruned;
+
+        // Only live nodes seed re-enumeration (ids removed by this batch
+        // have no matches to contribute).
+        touched.retain(|&n| self.graph.is_alive(n));
+        stats.touched_nodes = touched.len();
+
+        if !touched.is_empty() {
+            // For a handful of touched nodes the anchored re-enumeration is
+            // microseconds of work per rule; spawning scoped threads would
+            // cost more than it saves, so small deltas stay sequential.
+            const PARALLEL_TOUCHED_THRESHOLD: usize = 8;
+            let threads = if touched.len() < PARALLEL_TOUCHED_THRESHOLD {
+                1
+            } else {
+                self.threads
+            };
+            let graph = &self.graph;
+            let per_ged: Vec<Vec<(Match, Vec<Literal>)>> =
+                run_sharded(threads, &self.sigma, |ged| {
+                    affected_violations(graph, ged, &touched)
+                });
+            for (gi, vs) in per_ged.into_iter().enumerate() {
+                for (m, failed) in vs {
+                    self.store.insert(gi, m, failed);
+                }
+            }
+        }
+        stats.violations_added = self.store.total() - pruned;
+        stats
+    }
+
+    /// Consume the validator, returning the graph it owns.
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+}
+
+/// Enumerate the violating matches of `ged` whose image intersects
+/// `touched`, each exactly once. This is the affected area of a delta with
+/// touched set `touched`; see the module docs for why nothing outside it
+/// can change status.
+fn affected_violations(
+    g: &Graph,
+    ged: &Ged,
+    touched: &HashSet<NodeId>,
+) -> Vec<(Match, Vec<Literal>)> {
+    let mut out = Vec::new();
+    if ged.pattern.var_count() == 0 {
+        // The empty match has an empty image: never affected by deltas.
+        return out;
+    }
+    let matcher = Matcher::new(&ged.pattern, g, MatchOptions::homomorphism());
+    for v in ged.pattern.vars() {
+        let lv = ged.pattern.label(v);
+        let seeds: Vec<NodeId> = touched
+            .iter()
+            .copied()
+            .filter(|&n| lv.matches(g.label(n)))
+            .collect();
+        if seeds.is_empty() {
+            continue;
+        }
+        matcher.for_each_anchored(v, &seeds, |m| {
+            // Responsibility rule: the first variable (declaration order)
+            // whose image is touched owns the match, so the union over
+            // anchor variables is duplicate-free.
+            let owner = ged
+                .pattern
+                .vars()
+                .find(|u| touched.contains(&m[u.idx()]))
+                .expect("anchored match must touch the seed");
+            if owner == v {
+                if let Some(failed) = check_violation(g, m, ged) {
+                    out.push((m.to_vec(), failed));
+                }
+            }
+            ControlFlow::Continue(())
+        });
+    }
+    out
+}
+
+/// Run `work` once per GED, sharding the rule list across `threads`
+/// workers; results come back in Σ order. The sequential path avoids any
+/// thread overhead for `threads == 1` or a single rule.
+pub(crate) fn run_sharded<T: Send>(
+    threads: usize,
+    sigma: &[Ged],
+    work: impl Fn(&Ged) -> T + Sync,
+) -> Vec<T> {
+    assert!(threads >= 1);
+    if threads == 1 || sigma.len() <= 1 {
+        return sigma.iter().map(work).collect();
+    }
+    let chunk_size = sigma.len().div_ceil(threads);
+    let mut results: Vec<Option<T>> = (0..sigma.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let work = &work;
+        let handles: Vec<_> = sigma
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(ci, chunk)| s.spawn(move || (ci, chunk.iter().map(work).collect::<Vec<T>>())))
+            .collect();
+        for h in handles {
+            let (ci, vals) = h.join().expect("validation worker panicked");
+            for (i, v) in vals.into_iter().enumerate() {
+                results[ci * chunk_size + i] = Some(v);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|o| o.expect("shard covered"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ged_graph::{sym, Value};
+    use ged_pattern::{parse_pattern, Var};
+
+    /// key: two t-nodes with equal `k` must be identical.
+    fn key_ged() -> Ged {
+        let q = parse_pattern("t(x); t(y)").unwrap();
+        Ged::new(
+            "key",
+            q,
+            vec![Literal::vars(Var(0), sym("k"), Var(1), sym("k"))],
+            vec![Literal::id(Var(0), Var(1))],
+        )
+    }
+
+    fn two_dupes() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_node(sym("t"));
+        let b = g.add_node(sym("t"));
+        g.set_attr(a, sym("k"), 1);
+        g.set_attr(b, sym("k"), 1);
+        g
+    }
+
+    fn assert_consistent(v: &IncrementalValidator) {
+        let full = ged_core::reason::validate(v.graph(), v.sigma(), None);
+        let full_set: std::collections::BTreeSet<(String, Vec<NodeId>)> = full
+            .violations
+            .iter()
+            .map(|x| (x.ged_name.clone(), x.assignment.clone()))
+            .collect();
+        let inc_set: std::collections::BTreeSet<(String, Vec<NodeId>)> = v
+            .report()
+            .violations
+            .iter()
+            .map(|x| (x.ged_name.clone(), x.assignment.clone()))
+            .collect();
+        assert_eq!(inc_set, full_set);
+    }
+
+    #[test]
+    fn initial_store_matches_full_validation() {
+        let v = IncrementalValidator::with_threads(two_dupes(), vec![key_ged()], 1);
+        assert_eq!(v.violation_count(), 2, "two symmetric witnesses");
+        assert_consistent(&v);
+    }
+
+    #[test]
+    fn attr_change_creates_and_repairs_violations() {
+        let mut g = Graph::new();
+        let a = g.add_node(sym("t"));
+        let b = g.add_node(sym("t"));
+        g.set_attr(a, sym("k"), 1);
+        g.set_attr(b, sym("k"), 2);
+        let mut v = IncrementalValidator::with_threads(g, vec![key_ged()], 2);
+        assert!(v.is_satisfied());
+
+        let stats = v.apply(&Delta::SetAttr {
+            node: b,
+            attr: sym("k"),
+            value: Value::from(1),
+        });
+        assert_eq!(stats.deltas_applied, 1);
+        assert_eq!(stats.violations_added, 2);
+        assert!(!v.is_satisfied());
+        assert_consistent(&v);
+
+        let stats = v.apply(&Delta::DelAttr {
+            node: b,
+            attr: sym("k"),
+        });
+        assert_eq!(stats.violations_removed, 2);
+        assert!(v.is_satisfied());
+        assert_consistent(&v);
+    }
+
+    #[test]
+    fn node_removal_clears_its_witnesses() {
+        let mut v = IncrementalValidator::with_threads(two_dupes(), vec![key_ged()], 1);
+        assert_eq!(v.violation_count(), 2);
+        let b = v.graph().nodes().nth(1).unwrap();
+        let stats = v.apply(&Delta::RemoveNode { node: b });
+        assert_eq!(stats.violations_removed, 2);
+        assert!(v.is_satisfied());
+        assert_consistent(&v);
+    }
+
+    #[test]
+    fn edge_bound_pattern_tracks_edge_deltas() {
+        // φ: connected t-nodes must agree on attribute p.
+        let q = parse_pattern("t(x) -[e]-> t(y)").unwrap();
+        let phi = Ged::new(
+            "agree",
+            q,
+            vec![],
+            vec![Literal::vars(Var(0), sym("p"), Var(1), sym("p"))],
+        );
+        let mut g = Graph::new();
+        let a = g.add_node(sym("t"));
+        let b = g.add_node(sym("t"));
+        g.set_attr(a, sym("p"), 1);
+        g.set_attr(b, sym("p"), 2);
+        let mut v = IncrementalValidator::with_threads(g, vec![phi], 1);
+        assert!(v.is_satisfied(), "no edges, no matches");
+
+        v.apply(&Delta::AddEdge {
+            src: a,
+            label: sym("e"),
+            dst: b,
+        });
+        assert_eq!(v.violation_count(), 1);
+        assert_consistent(&v);
+
+        v.apply(&Delta::RemoveEdge {
+            src: a,
+            label: sym("e"),
+            dst: b,
+        });
+        assert!(v.is_satisfied());
+        assert_consistent(&v);
+    }
+
+    #[test]
+    fn batched_deltas_maintain_once() {
+        let mut v = IncrementalValidator::with_threads(Graph::new(), vec![key_ged()], 1);
+        let mut batch = DeltaSet::new();
+        batch.push(Delta::AddNode { label: sym("t") });
+        batch.push(Delta::AddNode { label: sym("t") });
+        let stats = v.apply_all(&batch);
+        assert_eq!(stats.deltas_applied, 2);
+        assert_eq!(
+            stats.created,
+            v.graph().nodes().collect::<Vec<_>>(),
+            "created ids are reported in application order"
+        );
+        assert!(v.is_satisfied(), "no attributes yet");
+        let nodes: Vec<NodeId> = v.graph().nodes().collect();
+        let mut batch = DeltaSet::new();
+        for &n in &nodes {
+            batch.push(Delta::SetAttr {
+                node: n,
+                attr: sym("k"),
+                value: Value::from(9),
+            });
+        }
+        let stats = v.apply_all(&batch);
+        assert_eq!(stats.violations_added, 2);
+        assert_consistent(&v);
+    }
+
+    #[test]
+    fn no_op_deltas_do_nothing() {
+        let mut v = IncrementalValidator::with_threads(two_dupes(), vec![key_ged()], 1);
+        let count = v.violation_count();
+        let a = v.graph().nodes().next().unwrap();
+        let stats = v.apply(&Delta::SetAttr {
+            node: a,
+            attr: sym("k"),
+            value: Value::from(1),
+        });
+        assert_eq!(stats, ApplyStats::default(), "same value: nothing to do");
+        assert_eq!(v.violation_count(), count);
+    }
+
+    #[test]
+    fn empty_pattern_geds_are_stable() {
+        use ged_pattern::Pattern;
+        let trivial = Ged::new("t", Pattern::new(), vec![], vec![]);
+        let mut v = IncrementalValidator::with_threads(Graph::new(), vec![trivial], 1);
+        assert!(v.is_satisfied());
+        v.apply(&Delta::AddNode { label: sym("t") });
+        assert!(v.is_satisfied());
+        assert_consistent(&v);
+    }
+}

@@ -27,7 +27,10 @@ fn single_node_pattern(label: &str) -> Pattern {
 /// Example 9: the GDC pair `(φ1, φ2)` enforcing `attr ∈ domain` on every
 /// node labelled `label`.
 pub fn domain_as_gdcs(label: &str, attr: &str, domain: &[Value]) -> (Gdc, Gdc) {
-    assert!(!domain.is_empty(), "empty domains forbid the label entirely");
+    assert!(
+        !domain.is_empty(),
+        "empty domains forbid the label entirely"
+    );
     let a = Symbol::new(attr);
     let q = single_node_pattern(label);
     let phi1 = Gdc::new(

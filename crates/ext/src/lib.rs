@@ -43,7 +43,10 @@ mod proptests {
     /// Random small graphs of τ-nodes with optional A/B attributes.
     fn arb_graph() -> impl Strategy<Value = ged_graph::Graph> {
         proptest::collection::vec(
-            (proptest::option::of(-2i64..4), proptest::option::of(-2i64..4)),
+            (
+                proptest::option::of(-2i64..4),
+                proptest::option::of(-2i64..4),
+            ),
             1..5,
         )
         .prop_map(|nodes| {

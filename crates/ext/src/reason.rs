@@ -20,8 +20,8 @@
 //! exponential in the input — as it must be: the problems are
 //! Σᵖ₂-/Πᵖ₂-complete.
 
-use crate::gdc::{Gdc, GdcLiteral};
 use crate::disj::DisjGed;
+use crate::gdc::{Gdc, GdcLiteral};
 use crate::solver::{consistent, Constraint, Term};
 use ged_graph::{Graph, NodeId, Symbol};
 use ged_pattern::{MatchOptions, Matcher, Pattern};
@@ -364,12 +364,22 @@ pub fn ext_satisfiable(sigma: &[NormConstraint]) -> bool {
 
 /// Satisfiability for GDC sets (Theorem 8: Σᵖ₂-complete).
 pub fn gdc_satisfiable(sigma: &[Gdc]) -> bool {
-    ext_satisfiable(&sigma.iter().map(NormConstraint::from_gdc).collect::<Vec<_>>())
+    ext_satisfiable(
+        &sigma
+            .iter()
+            .map(NormConstraint::from_gdc)
+            .collect::<Vec<_>>(),
+    )
 }
 
 /// Satisfiability for GED∨ sets (Theorem 9: Σᵖ₂-complete).
 pub fn disj_satisfiable(sigma: &[DisjGed]) -> bool {
-    ext_satisfiable(&sigma.iter().map(NormConstraint::from_disj).collect::<Vec<_>>())
+    ext_satisfiable(
+        &sigma
+            .iter()
+            .map(NormConstraint::from_disj)
+            .collect::<Vec<_>>(),
+    )
 }
 
 /// Countermodel search for implication: does there exist a quotient of
@@ -496,9 +506,9 @@ pub fn gdc_implies(sigma: &[Gdc], phi: &Gdc) -> bool {
         return true; // X → ∅ holds vacuously
     }
     let sig: Vec<NormConstraint> = sigma.iter().map(NormConstraint::from_gdc).collect();
-    !phi.conclusions.iter().any(|target| {
-        has_countermodel(&sig, &phi.pattern, &phi.premises, &[vec![target.clone()]])
-    })
+    !phi.conclusions
+        .iter()
+        .any(|target| has_countermodel(&sig, &phi.pattern, &phi.premises, &[vec![target.clone()]]))
 }
 
 /// Implication `Σ ⊨ ψ` for GED∨s (Theorem 9: Πᵖ₂-complete): the
@@ -666,7 +676,7 @@ mod tests {
             vec![],
             vec![GdcLiteral::constant(Var(0), sym("A"), Pred::Lt, 2)],
         );
-        assert!(gdc_implies(&[a_lt3.clone()], &a_le5));
+        assert!(gdc_implies(std::slice::from_ref(&a_lt3), &a_le5));
         assert!(!gdc_implies(&[a_lt3], &a_lt2));
     }
 
@@ -703,7 +713,7 @@ mod tests {
         };
         let s01 = mk("s01", &[0, 1]);
         let s012 = mk("s012", &[0, 1, 2]);
-        assert!(disj_implies(&[s01.clone()], &s012));
+        assert!(disj_implies(std::slice::from_ref(&s01), &s012));
         assert!(!disj_implies(&[s012], &s01));
     }
 

@@ -102,7 +102,7 @@ pub fn consistent(constraints: &[Constraint]) -> bool {
     // Union-find over equalities.
     let n = terms.len();
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -133,9 +133,12 @@ pub fn consistent(constraints: &[Constraint]) -> bool {
     // via two DFS passes).
     let mut adj: HashMap<usize, Vec<(usize, bool)>> = HashMap::new(); // (to, strict)
     let mut radj: HashMap<usize, Vec<usize>> = HashMap::new();
-    let push = |a: usize, b: usize, strict: bool, parent: &mut Vec<usize>,
-                    adj: &mut HashMap<usize, Vec<(usize, bool)>>,
-                    radj: &mut HashMap<usize, Vec<usize>>| {
+    let push = |a: usize,
+                b: usize,
+                strict: bool,
+                parent: &mut Vec<usize>,
+                adj: &mut HashMap<usize, Vec<(usize, bool)>>,
+                radj: &mut HashMap<usize, Vec<usize>>| {
         let (ra, rb) = (find(parent, a), find(parent, b));
         adj.entry(ra).or_default().push((rb, strict));
         radj.entry(rb).or_default().push(ra);
@@ -187,8 +190,8 @@ pub fn consistent(constraints: &[Constraint]) -> bool {
         comp.insert(v, c);
         while let Some(u) = stack.pop() {
             for &w in radj.get(&u).into_iter().flatten() {
-                if !comp.contains_key(&w) {
-                    comp.insert(w, c);
+                if let std::collections::hash_map::Entry::Vacant(e) = comp.entry(w) {
+                    e.insert(c);
                     stack.push(w);
                 }
             }
@@ -211,7 +214,7 @@ pub fn consistent(constraints: &[Constraint]) -> bool {
     // SCC-level constant conflict: two classes with distinct constants in
     // the same SCC (means forced equal).
     let mut comp_const: HashMap<usize, &Value> = HashMap::new();
-    for (&root, &v) in class_const.iter().map(|(r, v)| (r, v)).collect::<Vec<_>>().iter() {
+    for (&root, &v) in class_const.iter().collect::<Vec<_>>().iter() {
         let c = comp[&root];
         if let Some(prev) = comp_const.get(&c) {
             if **prev != *v {
@@ -409,9 +412,9 @@ mod proptests {
         let k = slots.len();
         let mut assign = vec![0usize; k];
         loop {
-            let all_ok = constraints.iter().all(|c| {
-                c.pred.eval(&eval(&c.lhs, &assign), &eval(&c.rhs, &assign))
-            });
+            let all_ok = constraints
+                .iter()
+                .all(|c| c.pred.eval(&eval(&c.lhs, &assign), &eval(&c.rhs, &assign)));
             if all_ok {
                 return true;
             }

@@ -49,12 +49,7 @@ impl GraphBuilder {
     }
 
     /// Shorthand: create both endpoints (with labels) and the edge at once.
-    pub fn triple(
-        &mut self,
-        src: (&str, &str),
-        label: &str,
-        dst: (&str, &str),
-    ) -> &mut Self {
+    pub fn triple(&mut self, src: (&str, &str), label: &str, dst: (&str, &str)) -> &mut Self {
         self.node(src.0, src.1);
         self.node(dst.0, dst.1);
         self.edge(src.0, label, dst.0)

@@ -1,0 +1,395 @@
+//! Graph deltas: the update language of the incremental validation engine.
+//!
+//! A [`Delta`] is one elementary update to a property graph — node and edge
+//! insertion/removal plus attribute writes — and a [`DeltaSet`] is an
+//! ordered batch of them. [`Graph::apply_delta`] applies one delta and
+//! reports a [`DeltaEffect`]: whether anything changed, which live nodes
+//! were *touched* (their attribute tuple or incident-edge structure grew or
+//! changed in place), and which node (if any) was created or removed.
+//!
+//! The touched-node discipline is what makes incremental validation sound
+//! (see `ged-engine`): a delta can only create a **new** violating match if
+//! the match's image intersects the touched set, while purely destructive
+//! deltas (edge/node removal) can only *destroy* matches, never create
+//! them — matching is monotone in the graph and literal satisfaction reads
+//! only the attributes of matched nodes.
+
+use crate::graph::{Graph, NodeId};
+use crate::symbol::Symbol;
+use crate::value::Value;
+use std::fmt;
+
+/// One elementary graph update.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Delta {
+    /// Insert a fresh node with the given label.
+    AddNode {
+        /// Label of the new node.
+        label: Symbol,
+    },
+    /// Remove a node, its attribute tuple, and every incident edge.
+    RemoveNode {
+        /// The node to remove.
+        node: NodeId,
+    },
+    /// Insert edge `(src, label, dst)` (no-op if present — E is a set).
+    AddEdge {
+        /// Source node.
+        src: NodeId,
+        /// Edge label.
+        label: Symbol,
+        /// Destination node.
+        dst: NodeId,
+    },
+    /// Remove edge `(src, label, dst)` (no-op if absent).
+    RemoveEdge {
+        /// Source node.
+        src: NodeId,
+        /// Edge label.
+        label: Symbol,
+        /// Destination node.
+        dst: NodeId,
+    },
+    /// Set `node.attr = value` (insert or overwrite).
+    SetAttr {
+        /// The node whose tuple changes.
+        node: NodeId,
+        /// Attribute name (must not be `id`).
+        attr: Symbol,
+        /// New value.
+        value: Value,
+    },
+    /// Delete attribute `attr` from `node` (no-op if absent).
+    DelAttr {
+        /// The node whose tuple changes.
+        node: NodeId,
+        /// Attribute name.
+        attr: Symbol,
+    },
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Delta::AddNode { label } => write!(f, "+node({label})"),
+            Delta::RemoveNode { node } => write!(f, "-node({node})"),
+            Delta::AddEdge { src, label, dst } => write!(f, "+edge({src} -[{label}]-> {dst})"),
+            Delta::RemoveEdge { src, label, dst } => write!(f, "-edge({src} -[{label}]-> {dst})"),
+            Delta::SetAttr { node, attr, value } => write!(f, "set({node}.{attr} = {value})"),
+            Delta::DelAttr { node, attr } => write!(f, "del({node}.{attr})"),
+        }
+    }
+}
+
+/// An ordered batch of deltas, applied left to right.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeltaSet {
+    deltas: Vec<Delta>,
+}
+
+impl DeltaSet {
+    /// An empty batch.
+    pub fn new() -> DeltaSet {
+        DeltaSet::default()
+    }
+
+    /// Append one delta.
+    pub fn push(&mut self, d: Delta) {
+        self.deltas.push(d);
+    }
+
+    /// The deltas in application order.
+    pub fn deltas(&self) -> &[Delta] {
+        &self.deltas
+    }
+
+    /// Number of deltas in the batch.
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+}
+
+impl From<Vec<Delta>> for DeltaSet {
+    fn from(deltas: Vec<Delta>) -> DeltaSet {
+        DeltaSet { deltas }
+    }
+}
+
+impl FromIterator<Delta> for DeltaSet {
+    fn from_iter<I: IntoIterator<Item = Delta>>(iter: I) -> DeltaSet {
+        DeltaSet {
+            deltas: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for DeltaSet {
+    type Item = Delta;
+    type IntoIter = std::vec::IntoIter<Delta>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.deltas.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a DeltaSet {
+    type Item = &'a Delta;
+    type IntoIter = std::slice::Iter<'a, Delta>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.deltas.iter()
+    }
+}
+
+/// What applying one [`Delta`] did to the graph.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeltaEffect {
+    /// Did the graph change at all? `false` for no-ops (duplicate edge
+    /// insert, removing an absent edge/attr, touching a dead node, …).
+    pub changed: bool,
+    /// The node created by an `AddNode`.
+    pub created: Option<NodeId>,
+    /// The node removed by a `RemoveNode`.
+    pub removed: Option<NodeId>,
+    /// Nodes whose attribute tuple or incident-edge structure this delta
+    /// changed — the locality footprint of the update. Only matches whose
+    /// image intersects this set can change violation status. A removed
+    /// node reports itself here (its id is dead afterwards); edge deltas
+    /// report both endpoints.
+    pub touched: Vec<NodeId>,
+}
+
+impl DeltaEffect {
+    fn unchanged() -> DeltaEffect {
+        DeltaEffect::default()
+    }
+}
+
+impl Graph {
+    /// Apply one delta, reporting its [`DeltaEffect`].
+    ///
+    /// Deltas referencing dead or out-of-range nodes are treated as no-ops
+    /// (`changed == false`) rather than panicking, so randomly generated
+    /// update streams can be replayed without pre-filtering.
+    pub fn apply_delta(&mut self, delta: &Delta) -> DeltaEffect {
+        match delta {
+            Delta::AddNode { label } => {
+                let id = self.add_node(*label);
+                DeltaEffect {
+                    changed: true,
+                    created: Some(id),
+                    removed: None,
+                    touched: vec![id],
+                }
+            }
+            Delta::RemoveNode { node } => {
+                if !self.remove_node(*node) {
+                    return DeltaEffect::unchanged();
+                }
+                DeltaEffect {
+                    changed: true,
+                    created: None,
+                    removed: Some(*node),
+                    touched: vec![*node],
+                }
+            }
+            Delta::AddEdge { src, label, dst } => {
+                if !self.is_alive(*src) || !self.is_alive(*dst) {
+                    return DeltaEffect::unchanged();
+                }
+                if !self.add_edge(*src, *label, *dst) {
+                    return DeltaEffect::unchanged();
+                }
+                let mut touched = vec![*src];
+                if dst != src {
+                    touched.push(*dst);
+                }
+                DeltaEffect {
+                    changed: true,
+                    created: None,
+                    removed: None,
+                    touched,
+                }
+            }
+            Delta::RemoveEdge { src, label, dst } => {
+                if !self.remove_edge(*src, *label, *dst) {
+                    return DeltaEffect::unchanged();
+                }
+                let mut touched = vec![*src];
+                if dst != src {
+                    touched.push(*dst);
+                }
+                DeltaEffect {
+                    changed: true,
+                    created: None,
+                    removed: None,
+                    touched,
+                }
+            }
+            Delta::SetAttr { node, attr, value } => {
+                // `id` is the node identity, not a stored attribute
+                // (Graph::set_attr rejects it); keep the no-panic contract.
+                if *attr == Symbol::ID || !self.is_alive(*node) {
+                    return DeltaEffect::unchanged();
+                }
+                if self.attr(*node, *attr) == Some(value) {
+                    return DeltaEffect::unchanged();
+                }
+                self.set_attr(*node, *attr, value.clone());
+                DeltaEffect {
+                    changed: true,
+                    created: None,
+                    removed: None,
+                    touched: vec![*node],
+                }
+            }
+            Delta::DelAttr { node, attr } => {
+                if !self.is_alive(*node) || self.remove_attr(*node, *attr).is_none() {
+                    return DeltaEffect::unchanged();
+                }
+                DeltaEffect {
+                    changed: true,
+                    created: None,
+                    removed: None,
+                    touched: vec![*node],
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym;
+
+    #[test]
+    fn add_node_and_edge_report_touched() {
+        let mut g = Graph::new();
+        let eff = g.apply_delta(&Delta::AddNode { label: sym("t") });
+        let a = eff.created.unwrap();
+        assert!(eff.changed);
+        assert_eq!(eff.touched, vec![a]);
+        let b = g
+            .apply_delta(&Delta::AddNode { label: sym("t") })
+            .created
+            .unwrap();
+        let eff = g.apply_delta(&Delta::AddEdge {
+            src: a,
+            label: sym("e"),
+            dst: b,
+        });
+        assert!(eff.changed);
+        assert_eq!(eff.touched, vec![a, b]);
+        // Duplicate insert: E is a set, so a no-op.
+        let eff = g.apply_delta(&Delta::AddEdge {
+            src: a,
+            label: sym("e"),
+            dst: b,
+        });
+        assert!(!eff.changed);
+    }
+
+    #[test]
+    fn self_loop_edge_touches_once() {
+        let mut g = Graph::new();
+        let a = g.add_node(sym("t"));
+        let eff = g.apply_delta(&Delta::AddEdge {
+            src: a,
+            label: sym("e"),
+            dst: a,
+        });
+        assert_eq!(eff.touched, vec![a]);
+    }
+
+    #[test]
+    fn destructive_deltas_report_their_footprint() {
+        let mut g = Graph::new();
+        let a = g.add_node(sym("t"));
+        let b = g.add_node(sym("t"));
+        g.add_edge(a, sym("e"), b);
+        let eff = g.apply_delta(&Delta::RemoveEdge {
+            src: a,
+            label: sym("e"),
+            dst: b,
+        });
+        assert!(eff.changed);
+        assert_eq!(eff.touched, vec![a, b]);
+        let eff = g.apply_delta(&Delta::RemoveNode { node: b });
+        assert_eq!(eff.removed, Some(b));
+        assert_eq!(eff.touched, vec![b], "the dead id is the footprint");
+        // Repeat removals are no-ops.
+        assert!(!g.apply_delta(&Delta::RemoveNode { node: b }).changed);
+    }
+
+    #[test]
+    fn set_attr_on_id_is_a_no_op_not_a_panic() {
+        let mut g = Graph::new();
+        let a = g.add_node(sym("t"));
+        let eff = g.apply_delta(&Delta::SetAttr {
+            node: a,
+            attr: crate::Symbol::ID,
+            value: Value::from(7),
+        });
+        assert!(!eff.changed, "id is the node identity, not an attribute");
+        assert_eq!(g.attrs(a).len(), 0);
+    }
+
+    #[test]
+    fn attr_deltas_detect_no_ops() {
+        let mut g = Graph::new();
+        let a = g.add_node(sym("t"));
+        let set = Delta::SetAttr {
+            node: a,
+            attr: sym("p"),
+            value: Value::from(3),
+        };
+        assert!(g.apply_delta(&set).changed);
+        assert!(!g.apply_delta(&set).changed, "same value again is a no-op");
+        let del = Delta::DelAttr {
+            node: a,
+            attr: sym("p"),
+        };
+        assert!(g.apply_delta(&del).changed);
+        assert!(!g.apply_delta(&del).changed, "attr already gone");
+    }
+
+    #[test]
+    fn deltas_on_dead_nodes_are_no_ops() {
+        let mut g = Graph::new();
+        let a = g.add_node(sym("t"));
+        g.remove_node(a);
+        assert!(
+            !g.apply_delta(&Delta::SetAttr {
+                node: a,
+                attr: sym("p"),
+                value: Value::from(1),
+            })
+            .changed
+        );
+        assert!(
+            !g.apply_delta(&Delta::AddEdge {
+                src: a,
+                label: sym("e"),
+                dst: a,
+            })
+            .changed
+        );
+    }
+
+    #[test]
+    fn delta_set_collects_and_iterates() {
+        let ds: DeltaSet = vec![
+            Delta::AddNode { label: sym("t") },
+            Delta::AddNode { label: sym("u") },
+        ]
+        .into();
+        assert_eq!(ds.len(), 2);
+        assert!(!ds.is_empty());
+        let labels: Vec<String> = ds.deltas().iter().map(|d| d.to_string()).collect();
+        assert_eq!(labels, vec!["+node(t)", "+node(u)"]);
+    }
+}

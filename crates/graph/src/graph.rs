@@ -15,7 +15,6 @@
 
 use crate::symbol::Symbol;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 
@@ -23,7 +22,7 @@ use std::fmt;
 ///
 /// Doubles as the paper's special `id` attribute: `x.id = y.id` holds iff the
 /// two matched [`NodeId`]s are equal.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -41,7 +40,7 @@ impl fmt::Display for NodeId {
 }
 
 /// A directed labelled edge `(src, label, dst)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Edge {
     /// Source node.
     pub src: NodeId,
@@ -51,16 +50,24 @@ pub struct Edge {
     pub dst: NodeId,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct NodeData {
     label: Symbol,
     attrs: BTreeMap<Symbol, Value>,
 }
 
 /// A finite directed labelled property graph (Section 2).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Nodes are identified by dense ids. Removal ([`Graph::remove_node`]) marks
+/// the slot dead instead of compacting, so surviving [`NodeId`]s stay stable
+/// across arbitrary update sequences — the invariant the incremental
+/// validation engine's violation store depends on. Removed ids are never
+/// reused; every accessor that enumerates nodes skips dead slots.
+#[derive(Debug, Clone, Default)]
 pub struct Graph {
     nodes: Vec<NodeData>,
+    alive: Vec<bool>,
+    n_live: usize,
     out: Vec<Vec<(Symbol, NodeId)>>,
     inn: Vec<Vec<(Symbol, NodeId)>>,
     edge_set: HashSet<(NodeId, Symbol, NodeId)>,
@@ -73,13 +80,16 @@ impl Graph {
         Graph::default()
     }
 
-    /// Add a node with `label`, returning its id.
+    /// Add a node with `label`, returning its id. Ids are never reused, so
+    /// an id freed by [`Graph::remove_node`] stays dead forever.
     pub fn add_node(&mut self, label: Symbol) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(NodeData {
             label,
             attrs: BTreeMap::new(),
         });
+        self.alive.push(true);
+        self.n_live += 1;
         self.out.push(Vec::new());
         self.inn.push(Vec::new());
         self.label_index.entry(label).or_default().push(id);
@@ -87,10 +97,10 @@ impl Graph {
     }
 
     /// Add edge `(src, label, dst)`. Returns `false` if it already existed
-    /// (E is a set). Panics if either endpoint is out of range.
+    /// (E is a set). Panics if either endpoint is out of range or removed.
     pub fn add_edge(&mut self, src: NodeId, label: Symbol, dst: NodeId) -> bool {
-        assert!(src.idx() < self.nodes.len(), "edge src out of range");
-        assert!(dst.idx() < self.nodes.len(), "edge dst out of range");
+        assert!(self.is_alive(src), "edge src out of range or removed");
+        assert!(self.is_alive(dst), "edge dst out of range or removed");
         if !self.edge_set.insert((src, label, dst)) {
             return false;
         }
@@ -99,9 +109,80 @@ impl Graph {
         true
     }
 
+    /// Remove edge `(src, label, dst)`. Returns `false` if it was absent.
+    pub fn remove_edge(&mut self, src: NodeId, label: Symbol, dst: NodeId) -> bool {
+        if !self.edge_set.remove(&(src, label, dst)) {
+            return false;
+        }
+        self.out[src.idx()].retain(|&(l, d)| !(l == label && d == dst));
+        self.inn[dst.idx()].retain(|&(l, s)| !(l == label && s == src));
+        true
+    }
+
+    /// Remove node `n` together with every incident edge and its attribute
+    /// tuple. Returns `false` if `n` is out of range or already removed.
+    /// The id is tombstoned — surviving ids are unaffected and `n` is never
+    /// handed out again by [`Graph::add_node`].
+    pub fn remove_node(&mut self, n: NodeId) -> bool {
+        if !self.is_alive(n) {
+            return false;
+        }
+        let outs = std::mem::take(&mut self.out[n.idx()]);
+        for (label, dst) in outs {
+            self.edge_set.remove(&(n, label, dst));
+            if dst != n {
+                self.inn[dst.idx()].retain(|&(l, s)| !(l == label && s == n));
+            }
+        }
+        let inns = std::mem::take(&mut self.inn[n.idx()]);
+        for (label, src) in inns {
+            if src != n {
+                self.edge_set.remove(&(src, label, n));
+                self.out[src.idx()].retain(|&(l, d)| !(l == label && d == n));
+            }
+        }
+        let label = self.nodes[n.idx()].label;
+        let label_emptied = match self.label_index.get_mut(&label) {
+            Some(ix) => {
+                ix.retain(|&m| m != n);
+                ix.is_empty()
+            }
+            None => false,
+        };
+        if label_emptied {
+            // Keep `labels()` an exact enumeration of labels with live nodes.
+            self.label_index.remove(&label);
+        }
+        self.nodes[n.idx()].attrs.clear();
+        self.alive[n.idx()] = false;
+        self.n_live -= 1;
+        true
+    }
+
+    /// Is `n` a live node of this graph (in range and not removed)?
+    pub fn is_alive(&self, n: NodeId) -> bool {
+        self.alive.get(n.idx()).copied().unwrap_or(false)
+    }
+
+    /// One past the largest id ever allocated (dense iteration bound).
+    /// Equals [`Graph::node_count`] only when no node was ever removed.
+    pub fn node_id_bound(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Has any node ever been removed from this graph?
+    pub fn has_removals(&self) -> bool {
+        self.n_live != self.nodes.len()
+    }
+
     /// Set attribute `A = v` on node `n` (overwrites). `A` must not be `id`.
+    /// Panics if `n` is out of range or removed.
     pub fn set_attr(&mut self, n: NodeId, attr: Symbol, v: impl Into<Value>) {
-        assert!(attr != Symbol::ID, "the id attribute is the node identity and cannot be set");
+        assert!(
+            attr != Symbol::ID,
+            "the id attribute is the node identity and cannot be set"
+        );
+        assert!(self.is_alive(n), "set_attr on a removed node");
         self.nodes[n.idx()].attrs.insert(attr, v.into());
     }
 
@@ -110,9 +191,9 @@ impl Graph {
         self.nodes[n.idx()].attrs.remove(&attr)
     }
 
-    /// Number of nodes `|V|`.
+    /// Number of (live) nodes `|V|`.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.n_live
     }
 
     /// Number of edges `|E|`.
@@ -122,10 +203,9 @@ impl Graph {
 
     /// The paper's size measure `|G| = |V| + |E|` (plus attributes), used in
     /// the Theorem 1 chase bounds. We count attributes too, conservatively.
+    /// Removed nodes carry no attributes, so the sum skips them naturally.
     pub fn size(&self) -> usize {
-        self.nodes.len()
-            + self.edge_set.len()
-            + self.nodes.iter().map(|n| n.attrs.len()).sum::<usize>()
+        self.n_live + self.edge_set.len() + self.nodes.iter().map(|n| n.attrs.len()).sum::<usize>()
     }
 
     /// Label `L(n)`.
@@ -143,9 +223,11 @@ impl Graph {
         &self.nodes[n.idx()].attrs
     }
 
-    /// Iterate over all node ids.
+    /// Iterate over all live node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.nodes.len() as u32).map(NodeId)
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(move |n| self.alive[n.idx()])
     }
 
     /// Iterate over all edges.
@@ -196,7 +278,10 @@ impl Graph {
 
     /// Nodes whose label *equals* `label` exactly.
     pub fn nodes_with_label(&self, label: Symbol) -> &[NodeId] {
-        self.label_index.get(&label).map(Vec::as_slice).unwrap_or(&[])
+        self.label_index
+            .get(&label)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Candidate data nodes for a pattern node labelled `pat_label` under the
@@ -229,6 +314,10 @@ impl Graph {
         attrs: Vec<BTreeMap<Symbol, Value>>,
     ) -> Graph {
         assert_eq!(class.len(), self.nodes.len(), "partition covers every node");
+        assert!(
+            !self.has_removals(),
+            "quotient is defined on graphs without removed nodes — call Graph::compact() first"
+        );
         assert_eq!(labels.len(), n_classes);
         assert_eq!(attrs.len(), n_classes);
         let mut g = Graph::new();
@@ -254,19 +343,42 @@ impl Graph {
     /// `NodeId(v.0 + offset)`). Used to build the canonical graph `G_Σ`
     /// (Section 5.1), the disjoint union of all patterns in Σ.
     pub fn append(&mut self, other: &Graph) -> u32 {
+        assert!(
+            !other.has_removals(),
+            "append is defined on graphs without removed nodes — call Graph::compact() first"
+        );
         let offset = self.nodes.len() as u32;
         for n in other.nodes() {
             let id = self.add_node(other.label(n));
             self.nodes[id.idx()].attrs = other.attrs(n).clone();
         }
         for e in other.edges() {
-            self.add_edge(
-                NodeId(e.src.0 + offset),
-                e.label,
-                NodeId(e.dst.0 + offset),
-            );
+            self.add_edge(NodeId(e.src.0 + offset), e.label, NodeId(e.dst.0 + offset));
         }
         offset
+    }
+
+    /// Compact away tombstoned id slots: returns a dense copy of the live
+    /// graph plus the id translation (`map[old.idx()] == Some(new)` for
+    /// surviving nodes, `None` for removed ones). This is the bridge from
+    /// an *evolved* graph back to the chase machinery ([`Graph::quotient`],
+    /// `EqRel`, coercion), which requires dense ids.
+    pub fn compact(&self) -> (Graph, Vec<Option<NodeId>>) {
+        let mut map: Vec<Option<NodeId>> = vec![None; self.node_id_bound()];
+        let mut g = Graph::new();
+        for n in self.nodes() {
+            let id = g.add_node(self.label(n));
+            g.nodes[id.idx()].attrs = self.attrs(n).clone();
+            map[n.idx()] = Some(id);
+        }
+        for e in self.edges() {
+            g.add_edge(
+                map[e.src.idx()].expect("live edge endpoint"),
+                e.label,
+                map[e.dst.idx()].expect("live edge endpoint"),
+            );
+        }
+        (g, map)
     }
 
     /// GraphViz DOT rendering (for debugging and the examples).
@@ -285,7 +397,14 @@ impl Graph {
             } else {
                 format!("\\n{}", attrs.join(", "))
             };
-            let _ = writeln!(s, "  n{} [label=\"{}: {}{}\"];", n.0, n, self.label(n), extra);
+            let _ = writeln!(
+                s,
+                "  n{} [label=\"{}: {}{}\"];",
+                n.0,
+                n,
+                self.label(n),
+                extra
+            );
         }
         for e in self.edges() {
             let _ = writeln!(s, "  n{} -> n{} [label=\"{}\"];", e.src.0, e.dst.0, e.label);
@@ -404,7 +523,10 @@ mod tests {
         let b = g.add_node(sym("t"));
         g.add_edge(a, sym("e"), b);
         let q = g.quotient(&[0, 0], 1, &[sym("t")], vec![BTreeMap::new()]);
-        assert!(q.has_edge(NodeId(0), sym("e"), NodeId(0)), "merge creates a self loop");
+        assert!(
+            q.has_edge(NodeId(0), sym("e"), NodeId(0)),
+            "merge creates a self loop"
+        );
     }
 
     #[test]
@@ -459,6 +581,121 @@ mod tests {
         assert!(dot.contains("n0"));
         assert!(dot.contains("n1"));
         assert!(dot.contains("create"));
+    }
+
+    #[test]
+    fn remove_edge_updates_all_indexes() {
+        let mut g = Graph::new();
+        let a = g.add_node(sym("t"));
+        let b = g.add_node(sym("t"));
+        g.add_edge(a, sym("e"), b);
+        g.add_edge(a, sym("f"), b);
+        assert!(g.remove_edge(a, sym("e"), b));
+        assert!(!g.remove_edge(a, sym("e"), b), "already gone");
+        assert!(!g.has_edge(a, sym("e"), b));
+        assert!(g.has_edge(a, sym("f"), b), "other label survives");
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.out_degree(a), 1);
+        assert_eq!(g.in_degree(b), 1);
+    }
+
+    #[test]
+    fn remove_node_drops_incident_edges_and_tombstones_id() {
+        let mut g = Graph::new();
+        let a = g.add_node(sym("t"));
+        let b = g.add_node(sym("t"));
+        let c = g.add_node(sym("u"));
+        g.add_edge(a, sym("e"), b);
+        g.add_edge(c, sym("e"), b);
+        g.add_edge(b, sym("f"), b); // self loop on the victim
+        g.set_attr(b, sym("p"), 1);
+
+        assert!(g.remove_node(b));
+        assert!(!g.remove_node(b), "double removal is a no-op");
+        assert!(!g.is_alive(b));
+        assert!(g.is_alive(a) && g.is_alive(c));
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.out_degree(a), 0);
+        assert_eq!(g.out_degree(c), 0);
+        assert_eq!(g.nodes_with_label(sym("t")), &[a]);
+        assert!(!g.nodes().any(|n| n == b), "iteration skips dead nodes");
+        assert!(g.attrs(b).is_empty(), "attributes cleared");
+        assert_eq!(g.size(), 2, "two live nodes, no edges, no attrs");
+
+        // Ids are never reused: a new node gets a fresh id.
+        let d = g.add_node(sym("t"));
+        assert_ne!(d, b);
+        assert_eq!(g.node_id_bound(), 4);
+        assert!(g.has_removals());
+    }
+
+    #[test]
+    fn removal_keeps_surviving_ids_stable() {
+        let mut g = Graph::new();
+        let a = g.add_node(sym("t"));
+        let b = g.add_node(sym("t"));
+        let c = g.add_node(sym("t"));
+        g.set_attr(c, sym("p"), 7);
+        g.remove_node(b);
+        assert_eq!(g.label(a), sym("t"));
+        assert_eq!(g.attr(c, sym("p")), Some(&Value::from(7)));
+        assert_eq!(g.nodes().collect::<Vec<_>>(), vec![a, c]);
+        assert_eq!(g.label_candidates(Symbol::WILDCARD), vec![a, c]);
+    }
+
+    #[test]
+    fn labels_shrink_when_last_node_of_a_label_dies() {
+        let mut g = Graph::new();
+        let a = g.add_node(sym("t"));
+        let b = g.add_node(sym("u"));
+        assert_eq!(g.labels().count(), 2);
+        g.remove_node(b);
+        let labels: Vec<Symbol> = g.labels().collect();
+        assert_eq!(labels, vec![sym("t")], "no phantom label for u");
+        g.remove_node(a);
+        assert_eq!(g.labels().count(), 0);
+    }
+
+    #[test]
+    fn compact_densifies_and_translates_ids() {
+        let mut g = Graph::new();
+        let a = g.add_node(sym("t"));
+        let b = g.add_node(sym("t"));
+        let c = g.add_node(sym("u"));
+        g.add_edge(a, sym("e"), c);
+        g.set_attr(c, sym("p"), 9);
+        g.remove_node(b);
+
+        let (dense, map) = g.compact();
+        assert_eq!(dense.node_count(), 2);
+        assert!(!dense.has_removals());
+        assert_eq!(map[a.idx()], Some(NodeId(0)));
+        assert_eq!(map[b.idx()], None);
+        assert_eq!(map[c.idx()], Some(NodeId(1)));
+        assert!(dense.has_edge(NodeId(0), sym("e"), NodeId(1)));
+        assert_eq!(dense.attr(NodeId(1), sym("p")), Some(&Value::from(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "compact")]
+    fn append_rejects_tombstoned_graphs() {
+        let mut other = Graph::new();
+        let a = other.add_node(sym("t"));
+        other.add_node(sym("t"));
+        other.remove_node(a);
+        let mut g = Graph::new();
+        g.append(&other);
+    }
+
+    #[test]
+    #[should_panic(expected = "removed")]
+    fn edge_to_removed_node_panics() {
+        let mut g = Graph::new();
+        let a = g.add_node(sym("t"));
+        let b = g.add_node(sym("t"));
+        g.remove_node(b);
+        g.add_edge(a, sym("e"), b);
     }
 
     #[test]

@@ -74,12 +74,18 @@ pub fn parse_text(input: &str) -> Result<Graph, IoError> {
             }
             "edge" => {
                 if parts.len() != 3 {
-                    return Err(IoError::Parse(lineno, "edge needs <src> <label> <dst>".into()));
+                    return Err(IoError::Parse(
+                        lineno,
+                        "edge needs <src> <label> <dst>".into(),
+                    ));
                 }
                 if !b.contains(&parts[0]) || !b.contains(&parts[2]) {
                     return Err(IoError::Parse(
                         lineno,
-                        format!("edge references undeclared node ({} or {})", parts[0], parts[2]),
+                        format!(
+                            "edge references undeclared node ({} or {})",
+                            parts[0], parts[2]
+                        ),
                     ));
                 }
                 b.edge(&parts[0], &parts[1], &parts[2]);
@@ -122,6 +128,11 @@ fn split_tokens(line: &str) -> Vec<String> {
 }
 
 /// Render a graph in the text format (node names are `n<i>`).
+///
+/// The text format carries no tombstones: re-parsing a graph that had
+/// nodes removed yields the same structure (names keep the original
+/// numbers) but with freshly compacted [`NodeId`]s. Use the binary
+/// [`encode`]/[`decode`] pair when ids must survive a round-trip.
 pub fn to_text(g: &Graph) -> String {
     use std::fmt::Write;
     let mut s = String::new();
@@ -191,11 +202,28 @@ fn get_value(buf: &mut Bytes) -> Result<Value, IoError> {
     }
 }
 
-/// Encode a graph into the compact binary format.
+/// Magic prefix of the binary format, guarding against foreign payloads.
+const BINARY_MAGIC: &[u8; 4] = b"GEDB";
+/// Format version; bumped when the layout changes (v2 added per-slot
+/// liveness flags for tombstoned node ids).
+const BINARY_VERSION: u8 = 2;
+
+/// Encode a graph into the compact binary format. The encoding walks every
+/// id slot up to [`Graph::node_id_bound`] with a liveness flag, so graphs
+/// that evolved through node removal round-trip with their (tombstoned)
+/// [`NodeId`]s intact — stored witnesses stay valid across a reload.
 pub fn encode(g: &Graph) -> Bytes {
     let mut buf = BytesMut::new();
-    buf.put_u32_le(g.node_count() as u32);
-    for n in g.nodes() {
+    buf.put_slice(BINARY_MAGIC);
+    buf.put_u8(BINARY_VERSION);
+    buf.put_u32_le(g.node_id_bound() as u32);
+    for slot in 0..g.node_id_bound() as u32 {
+        let n = NodeId(slot);
+        if !g.is_alive(n) {
+            buf.put_u8(0);
+            continue;
+        }
+        buf.put_u8(1);
         put_str(&mut buf, &g.label(n).name());
         let attrs = g.attrs(n);
         buf.put_u32_le(attrs.len() as u32);
@@ -214,14 +242,39 @@ pub fn encode(g: &Graph) -> Bytes {
     buf.freeze()
 }
 
-/// Decode a graph from the compact binary format.
+/// Decode a graph from the compact binary format, reconstructing dead id
+/// slots as tombstones so every surviving [`NodeId`] matches the encoded
+/// graph.
 pub fn decode(mut buf: Bytes) -> Result<Graph, IoError> {
     let mut g = Graph::new();
+    if buf.remaining() < 5 {
+        return Err(IoError::Binary("truncated header".into()));
+    }
+    if buf.copy_to_bytes(4).to_vec() != BINARY_MAGIC {
+        return Err(IoError::Binary(
+            "bad magic: not a GED binary snapshot".into(),
+        ));
+    }
+    let version = buf.get_u8();
+    if version != BINARY_VERSION {
+        return Err(IoError::Binary(format!(
+            "unsupported snapshot version {version} (expected {BINARY_VERSION})"
+        )));
+    }
     if buf.remaining() < 4 {
         return Err(IoError::Binary("truncated node count".into()));
     }
     let n_nodes = buf.get_u32_le();
     for _ in 0..n_nodes {
+        if buf.remaining() < 1 {
+            return Err(IoError::Binary("truncated liveness flag".into()));
+        }
+        if buf.get_u8() == 0 {
+            // Dead slot: allocate the id, then tombstone it.
+            let id = g.add_node(Symbol::WILDCARD);
+            g.remove_node(id);
+            continue;
+        }
         let label = get_str(&mut buf)?;
         let id = g.add_node(Symbol::new(&label));
         if buf.remaining() < 4 {
@@ -250,6 +303,9 @@ pub fn decode(mut buf: Bytes) -> Result<Graph, IoError> {
         let dst = buf.get_u32_le();
         if src >= n_nodes || dst >= n_nodes {
             return Err(IoError::Binary("edge endpoint out of range".into()));
+        }
+        if !g.is_alive(NodeId(src)) || !g.is_alive(NodeId(dst)) {
+            return Err(IoError::Binary("edge endpoint is a removed node".into()));
         }
         g.add_edge(NodeId(src), Symbol::new(&label), NodeId(dst));
     }
@@ -326,6 +382,67 @@ edge tony create gb
         let edges1: std::collections::HashSet<_> = g.edges().collect();
         let edges2: std::collections::HashSet<_> = g2.edges().collect();
         assert_eq!(edges1, edges2);
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_tombstoned_ids() {
+        let mut g = Graph::new();
+        let a = g.add_node(Symbol::new("t"));
+        let b = g.add_node(Symbol::new("t"));
+        let c = g.add_node(Symbol::new("u"));
+        g.add_edge(b, Symbol::new("e"), c);
+        g.set_attr(c, Symbol::new("p"), 7);
+        g.remove_node(a);
+
+        let g2 = decode(encode(&g)).unwrap();
+        assert_eq!(g2.node_count(), 2);
+        assert_eq!(g2.node_id_bound(), 3, "dead slot survives as a tombstone");
+        assert!(!g2.is_alive(a));
+        assert!(g2.is_alive(b) && g2.is_alive(c));
+        assert!(g2.has_edge(b, Symbol::new("e"), c), "edge ids unshifted");
+        assert_eq!(g2.attr(c, Symbol::new("p")), Some(&Value::from(7)));
+        // Ids keep flowing from the same bound after a reload.
+        let mut g2 = g2;
+        assert_eq!(g2.add_node(Symbol::new("t")), NodeId(3));
+    }
+
+    #[test]
+    fn binary_rejects_edges_to_removed_nodes() {
+        // Hand-build a payload: 2 slots (slot 0 dead, slot 1 "t"), then one
+        // edge 1 -> 0 targeting the dead slot.
+        let mut g = Graph::new();
+        let a = g.add_node(Symbol::new("t"));
+        let b = g.add_node(Symbol::new("t"));
+        g.add_edge(b, Symbol::new("e"), a);
+        let mut bytes = encode(&g).to_vec();
+        // Corrupt: mark slot 0 dead by re-encoding a graph where it is,
+        // then splice the original edge section back in.
+        g.remove_node(a);
+        let dead = encode(&g).to_vec();
+        // dead payload ends with edge count 0; replace it with the edge
+        // section of the original payload (count 1 + one edge record).
+        let edge_section_start = bytes.len() - (4 + 4 + 4 + 1 + 4);
+        let mut payload = dead[..dead.len() - 4].to_vec();
+        payload.extend_from_slice(&bytes.split_off(edge_section_start));
+        let err = decode(Bytes::from(payload)).unwrap_err();
+        assert!(
+            matches!(err, IoError::Binary(ref m) if m.contains("removed")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn binary_rejects_wrong_magic_and_version() {
+        let err = decode(Bytes::from_static(b"NOPE\x02\0\0\0\0")).unwrap_err();
+        assert!(
+            matches!(err, IoError::Binary(ref m) if m.contains("magic")),
+            "{err}"
+        );
+        let err = decode(Bytes::from_static(b"GEDB\x01\0\0\0\0")).unwrap_err();
+        assert!(
+            matches!(err, IoError::Binary(ref m) if m.contains("version 1")),
+            "{err}"
+        );
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //!   wildcard `_` and the asymmetric label-matching relation `ι ⪯ ι′`;
 //! * [`Graph`] / [`NodeId`] / [`Edge`] — the graph `(V, E, L, F_A)` with the
 //!   adjacency and label indexes the matcher and chase need, plus the
-//!   quotient construction that powers chase *coercion*;
+//!   quotient construction that powers chase *coercion*; nodes and edges
+//!   can be removed again (tombstoned ids), so graphs can *evolve*;
+//! * [`Delta`] / [`DeltaSet`] — elementary updates and batches of them,
+//!   applied via [`Graph::apply_delta`], feeding the incremental
+//!   validation engine in `ged-engine`;
 //! * [`GraphBuilder`] — name-based construction for fixtures;
 //! * [`io`] — a text format and a compact binary snapshot format.
 //!
@@ -22,12 +26,14 @@
 #![forbid(unsafe_code)]
 
 pub mod builder;
+pub mod delta;
 pub mod graph;
 pub mod io;
 pub mod symbol;
 pub mod value;
 
 pub use builder::GraphBuilder;
+pub use delta::{Delta, DeltaEffect, DeltaSet};
 pub use graph::{Edge, Graph, NodeId};
 pub use symbol::Symbol;
 pub use value::Value;

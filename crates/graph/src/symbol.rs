@@ -4,7 +4,7 @@
 //! attributes (Section 2). Labels and attribute names are short strings that
 //! are compared constantly during pattern matching and chasing, so we intern
 //! them: a [`Symbol`] is a `u32` index into a process-global table guarded by
-//! a [`parking_lot::RwLock`]. Equality of symbols is integer equality.
+//! a [`std::sync::RwLock`]. Equality of symbols is integer equality.
 //!
 //! Two symbols are reserved:
 //! * [`Symbol::WILDCARD`] — the pattern wildcard `_` (Section 2, "we allow
@@ -14,14 +14,12 @@
 //! * [`Symbol::ID`] — the special attribute `id` denoting node identity.
 //!   Constant/variable literals must not use it (enforced in `ged-core`).
 
-use parking_lot::RwLock;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock};
 
 /// An interned label or attribute name.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Symbol(pub u32);
 
 impl Symbol {
@@ -101,12 +99,12 @@ impl Interner {
 
     fn intern(&self, name: &str) -> Symbol {
         {
-            let g = self.inner.read();
+            let g = self.inner.read().expect("interner lock poisoned");
             if let Some(&idx) = g.map.get(name) {
                 return Symbol(idx);
             }
         }
-        let mut g = self.inner.write();
+        let mut g = self.inner.write().expect("interner lock poisoned");
         if let Some(&idx) = g.map.get(name) {
             return Symbol(idx);
         }
@@ -117,7 +115,7 @@ impl Interner {
     }
 
     fn resolve(&self, sym: Symbol) -> String {
-        let g = self.inner.read();
+        let g = self.inner.read().expect("interner lock poisoned");
         g.names
             .get(sym.0 as usize)
             .cloned()

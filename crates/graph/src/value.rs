@@ -13,12 +13,11 @@
 //! constants of different kinds, but a total order keeps the GDC reasoning
 //! engine simple and deterministic.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// A constant from the paper's universe `U`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// Boolean constant.
     Bool(bool),
@@ -272,7 +271,10 @@ mod tests {
         assert_eq!(Value::parse("-7"), Value::Int(-7));
         assert_eq!(Value::parse("2.5"), Value::Float(2.5));
         assert_eq!(Value::parse("true"), Value::Bool(true));
-        assert_eq!(Value::parse("\"video game\""), Value::Str("video game".into()));
+        assert_eq!(
+            Value::parse("\"video game\""),
+            Value::Str("video game".into())
+        );
         assert_eq!(Value::parse("bare"), Value::Str("bare".into()));
     }
 

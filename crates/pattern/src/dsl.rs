@@ -37,7 +37,11 @@ pub struct DslError {
 
 impl fmt::Display for DslError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "pattern DSL, statement {}: {}", self.statement, self.message)
+        write!(
+            f,
+            "pattern DSL, statement {}: {}",
+            self.statement, self.message
+        )
     }
 }
 
@@ -220,10 +224,7 @@ mod tests {
 
     #[test]
     fn chains_and_reuse() {
-        let q = parse_pattern(
-            "country(x) -[capital]-> city(y); (x) -[capital]-> city(z)",
-        )
-        .unwrap();
+        let q = parse_pattern("country(x) -[capital]-> city(y); (x) -[capital]-> city(z)").unwrap();
         assert_eq!(q.var_count(), 3);
         assert_eq!(q.edge_count(), 2);
         let x = q.var_by_name("x").unwrap();
@@ -241,8 +242,7 @@ mod tests {
 
     #[test]
     fn primes_in_variable_names() {
-        let q = parse_pattern("album(x) -[by]-> artist(x'); album(y) -[by]-> artist(y')")
-            .unwrap();
+        let q = parse_pattern("album(x) -[by]-> artist(x'); album(y) -[by]-> artist(y')").unwrap();
         assert_eq!(q.var_count(), 4);
         assert!(q.var_by_name("x'").is_some());
     }
@@ -256,8 +256,8 @@ mod tests {
 
     #[test]
     fn comments_are_ignored() {
-        let q = parse_pattern("# Figure 1, Q1\nperson(x) -[create]-> product(y) # trailing")
-            .unwrap();
+        let q =
+            parse_pattern("# Figure 1, Q1\nperson(x) -[create]-> product(y) # trailing").unwrap();
         assert_eq!(q.var_count(), 2);
     }
 

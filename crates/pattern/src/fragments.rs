@@ -117,10 +117,8 @@ pub fn fig3_q1() -> Pattern {
 /// from Q2 to Q1 (both copies onto Q1) drives the unsatisfiability of
 /// Σ1 = {φ1, φ2}.
 pub fn fig3_q2() -> Pattern {
-    parse_pattern(
-        "a(x1) -[e]-> b(y1); (x1) -[e]-> c(z1); a(x2) -[e]-> b(y2); (x2) -[e]-> c(z2)",
-    )
-    .unwrap()
+    parse_pattern("a(x1) -[e]-> b(y1); (x1) -[e]-> c(z1); a(x2) -[e]-> b(y2); (x2) -[e]-> c(z2)")
+        .unwrap()
 }
 
 /// Figure 3, `Q2'`: Q2 plus an extra connected component `C2` (a `d`-node
@@ -172,7 +170,9 @@ mod tests {
         assert_eq!(fig1_q2().var_count(), 3);
         assert_eq!(fig1_q2().edge_count(), 2);
         assert_eq!(fig1_q3().var_count(), 2);
-        assert!(fig1_q3().label(fig1_q3().var_by_name("x").unwrap()).is_wildcard());
+        assert!(fig1_q3()
+            .label(fig1_q3().var_by_name("x").unwrap())
+            .is_wildcard());
         assert_eq!(fig1_q4().edge_count(), 2);
         let q5 = fig1_q5(3);
         assert_eq!(q5.var_count(), 2 + 2 + 3);
@@ -201,7 +201,11 @@ mod tests {
         assert_eq!(g.node_count(), 4);
         assert_eq!(g.edge_count(), 2);
         assert_eq!(g.attr(v1, sym("A")), g.attr(v2, sym("A")));
-        assert_ne!(g.label(v1p), g.label(v2p), "v1' and v2' have distinct labels");
+        assert_ne!(
+            g.label(v1p),
+            g.label(v2p),
+            "v1' and v2' have distinct labels"
+        );
         // Q1 matches (two a-nodes exist)
         assert!(exists(&fig2_q1(), &g, MatchOptions::homomorphism()));
         // Q2 does NOT match G with distinct y,z before the merge
@@ -222,11 +226,19 @@ mod tests {
         // Q2 maps homomorphically into G_{Q1} (both copies collapse onto Q1)
         assert!(exists(&fig3_q2(), &q1g, MatchOptions::homomorphism()));
         // Q2' does not (component C2 has labels d/dd not present in Q1)
-        assert!(!exists(&fig3_q2_prime(), &q1g, MatchOptions::homomorphism()));
+        assert!(!exists(
+            &fig3_q2_prime(),
+            &q1g,
+            MatchOptions::homomorphism()
+        ));
         // and Q1 does not map into G_{Q2'} — wait, it does: Q2' contains a
         // copy of Q1's shape. The paper says "Q1 is not homomorphic to Q2'
         // and vice versa" referring to Q2' ↛ Q1; Q1 ↪ Q2' holds:
-        assert!(exists(&fig3_q1(), &fig3_q2_prime().canonical_graph(), MatchOptions::homomorphism()));
+        assert!(exists(
+            &fig3_q1(),
+            &fig3_q2_prime().canonical_graph(),
+            MatchOptions::homomorphism()
+        ));
     }
 
     #[test]

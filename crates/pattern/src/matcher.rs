@@ -136,6 +136,26 @@ impl<'a> Matcher<'a> {
         self.backtrack(0, &mut assign, &mut f).is_continue()
     }
 
+    /// Visit every match that maps `anchor` to one of `seeds` (*anchored*
+    /// enumeration). This is the affected-area primitive of the incremental
+    /// validation engine: with `seeds` the set of nodes a delta touched,
+    /// the union over all anchor variables covers exactly the matches whose
+    /// image intersects the touched set. Returns `true` if enumeration ran
+    /// to completion (no early break).
+    pub fn for_each_anchored(
+        &self,
+        anchor: Var,
+        seeds: &[NodeId],
+        mut f: impl FnMut(&[NodeId]) -> ControlFlow<()>,
+    ) -> bool {
+        for &n in seeds {
+            if !self.for_each_seeded(&[(anchor, n)], &mut f) {
+                return false;
+            }
+        }
+        true
+    }
+
     fn backtrack(
         &self,
         depth: usize,
@@ -211,9 +231,7 @@ impl<'a> Matcher<'a> {
         if !self.pattern.label(v).matches(self.graph.label(n)) {
             return false;
         }
-        if self.opts.semantics == Semantics::Isomorphism
-            && assign.iter().any(|&a| a == Some(n))
-        {
+        if self.opts.semantics == Semantics::Isomorphism && assign.contains(&Some(n)) {
             return false;
         }
         for &(el, d) in self.pattern.out_edges(v) {
@@ -500,13 +518,10 @@ mod tests {
         let x = q.var_by_name("x").unwrap();
         let tony = g.nodes_with_label(ged_graph::sym("person"))[0];
         let mut found = Vec::new();
-        Matcher::new(&q, &g, MatchOptions::homomorphism()).for_each_seeded(
-            &[(x, tony)],
-            |m| {
-                found.push(m.to_vec());
-                ControlFlow::Continue(())
-            },
-        );
+        Matcher::new(&q, &g, MatchOptions::homomorphism()).for_each_seeded(&[(x, tony)], |m| {
+            found.push(m.to_vec());
+            ControlFlow::Continue(())
+        });
         assert_eq!(found.len(), 1);
         assert_eq!(found[0][x.idx()], tony);
     }
@@ -523,6 +538,49 @@ mod tests {
             ControlFlow::Continue(())
         });
         assert_eq!(found, 0);
+    }
+
+    #[test]
+    fn anchored_matching_unions_over_seeds() {
+        let g = creator_graph();
+        let q = q1();
+        let x = q.var_by_name("x").unwrap();
+        let persons = g.nodes_with_label(ged_graph::sym("person")).to_vec();
+        // Anchoring x on all persons re-derives the full match set.
+        let mut found = Vec::new();
+        let completed = Matcher::new(&q, &g, MatchOptions::homomorphism()).for_each_anchored(
+            x,
+            &persons,
+            |m| {
+                found.push(m.to_vec());
+                ControlFlow::Continue(())
+            },
+        );
+        assert!(completed);
+        assert_eq!(found.len(), 3);
+        // Anchoring on a two-node subset restricts to their matches.
+        let mut restricted = 0;
+        Matcher::new(&q, &g, MatchOptions::homomorphism()).for_each_anchored(
+            x,
+            &persons[..2],
+            |_| {
+                restricted += 1;
+                ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(restricted, 2);
+        // Early break propagates out of the seed loop.
+        let mut seen = 0;
+        let completed = Matcher::new(&q, &g, MatchOptions::homomorphism()).for_each_anchored(
+            x,
+            &persons,
+            |_| {
+                seen += 1;
+                ControlFlow::Break(())
+            },
+        );
+        assert!(!completed);
+        assert_eq!(seen, 1);
     }
 
     #[test]
@@ -548,8 +606,9 @@ mod tests {
     fn heuristics_do_not_change_the_match_set() {
         let g = creator_graph();
         let q = q1();
-        let base: std::collections::HashSet<Match> =
-            find_all(&q, &g, MatchOptions::homomorphism()).into_iter().collect();
+        let base: std::collections::HashSet<Match> = find_all(&q, &g, MatchOptions::homomorphism())
+            .into_iter()
+            .collect();
         for smart in [false, true] {
             for adj in [false, true] {
                 let opts = MatchOptions {
@@ -567,9 +626,12 @@ mod tests {
     #[test]
     fn matches_brute_force_on_small_cases() {
         let g = creator_graph();
-        for (name, q) in [("q1", q1())] {
+        {
+            let (name, q) = ("q1", q1());
             let fast: std::collections::HashSet<Match> =
-                find_all(&q, &g, MatchOptions::homomorphism()).into_iter().collect();
+                find_all(&q, &g, MatchOptions::homomorphism())
+                    .into_iter()
+                    .collect();
             let brute: std::collections::HashSet<Match> =
                 find_all_brute(&q, &g, MatchOptions::homomorphism())
                     .into_iter()

@@ -192,11 +192,7 @@ impl Pattern {
             q.var_sym(other.name(v), other.label(v));
         }
         for e in &other.edges {
-            q.edge_sym(
-                Var(e.src.0 + offset),
-                e.label,
-                Var(e.dst.0 + offset),
-            );
+            q.edge_sym(Var(e.src.0 + offset), e.label, Var(e.dst.0 + offset));
         }
         (q, offset)
     }
@@ -277,14 +273,7 @@ impl fmt::Display for Pattern {
             let edges: Vec<String> = self
                 .edges
                 .iter()
-                .map(|e| {
-                    format!(
-                        "{} -[{}]-> {}",
-                        self.name(e.src),
-                        e.label,
-                        self.name(e.dst)
-                    )
-                })
+                .map(|e| format!("{} -[{}]-> {}", self.name(e.src), e.label, self.name(e.dst)))
                 .collect();
             write!(f, " {{ {} }}", edges.join("; "))?;
         }
@@ -323,7 +312,11 @@ mod tests {
         let g = q.canonical_graph();
         assert_eq!(g.node_count(), 2);
         assert_eq!(g.edge_count(), 1);
-        assert_eq!(g.label(NodeId(0)), Symbol::WILDCARD, "wildcard survives in G_Q");
+        assert_eq!(
+            g.label(NodeId(0)),
+            Symbol::WILDCARD,
+            "wildcard survives in G_Q"
+        );
         assert_eq!(g.label(NodeId(1)), Symbol::new("b"));
         assert!(g.has_edge(NodeId(0), Symbol::new("e"), NodeId(1)));
         assert!(g.attrs(NodeId(0)).is_empty(), "G_Q has empty F_A");

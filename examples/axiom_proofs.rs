@@ -83,9 +83,6 @@ fn main() {
     );
 
     // ---- Soundness spot-check ---------------------------------------
-    let all_sound = proof
-        .steps
-        .iter()
-        .all(|s| implies(&[], &s.conclusion));
+    let all_sound = proof.steps.iter().all(|s| implies(&[], &s.conclusion));
     println!("\nevery step semantically implied (soundness): {all_sound}");
 }

@@ -65,7 +65,11 @@ fn main() {
     for name in ["φ1", "φ2", "φ3", "φ4"] {
         if let Some(v) = report.violations.iter().find(|v| v.ged_name == name) {
             let nodes: Vec<String> = v.assignment.iter().map(|n| n.to_string()).collect();
-            println!("  {name}: match {:?}, failed literals: {}", nodes, v.failed.len());
+            println!(
+                "  {name}: match {:?}, failed literals: {}",
+                nodes,
+                v.failed.len()
+            );
         }
     }
 }

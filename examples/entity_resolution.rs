@@ -40,7 +40,12 @@ fn main() {
 
     // Entity resolution = chase to fixpoint.
     match chase(&inst.graph, &keys) {
-        ChaseResult::Consistent { coercion, stats, eq, .. } => {
+        ChaseResult::Consistent {
+            coercion,
+            stats,
+            eq,
+            ..
+        } => {
             println!(
                 "\nchase: {} steps in {} rounds ({} matches examined); bounds held: {}",
                 stats.steps,
@@ -76,9 +81,7 @@ fn main() {
 
 /// The generator is deterministic; rebuild it through a GraphBuilder to
 /// recover the name → NodeId map for ground-truth reporting.
-fn rebuild_with_names(
-    cfg: &MusicConfig,
-) -> (Graph, std::collections::HashMap<String, NodeId>) {
+fn rebuild_with_names(cfg: &MusicConfig) -> (Graph, std::collections::HashMap<String, NodeId>) {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(cfg.seed);

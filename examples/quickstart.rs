@@ -55,7 +55,12 @@ fn main() {
     // 5. The chase (Section 4): enforce the key — the duplicate albums
     // merge into one entity.
     match chase(&graph, &sigma[1..]) {
-        ChaseResult::Consistent { eq, coercion, stats, .. } => {
+        ChaseResult::Consistent {
+            eq,
+            coercion,
+            stats,
+            ..
+        } => {
             println!(
                 "chase: {} steps (bound {}), a1 == a2: {}, graph now has {} nodes",
                 stats.steps,
@@ -83,5 +88,8 @@ fn main() {
     // 7. Satisfiability (Section 5.1): the rule set has a model — built
     // explicitly.
     let model = build_model(&sigma).expect("Σ is satisfiable");
-    println!("model of Σ: {model} (is_model = {})", is_model(&model, &sigma));
+    println!(
+        "model of Σ: {model} (is_model = {})",
+        is_model(&model, &sigma)
+    );
 }

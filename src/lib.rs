@@ -5,14 +5,15 @@
 //! integration tests in `tests/`.
 //!
 //! The system reproduces *Dependencies for Graphs* (Fan & Lu, PODS 2017):
-//! see `DESIGN.md` for the inventory and `EXPERIMENTS.md` for the
-//! regenerated tables/figures.
+//! see `DESIGN.md` for the crate inventory, the experiment catalogue, and
+//! the incremental engine's affected-area algorithm.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub use ged_core as core;
 pub use ged_datagen as datagen;
+pub use ged_engine as engine;
 pub use ged_ext as ext;
 pub use ged_graph as graph;
 pub use ged_pattern as pattern;
@@ -31,11 +32,17 @@ pub mod prelude {
         build_model, implies, is_satisfiable, minimize, validate, Validator,
     };
     pub use ged_core::satisfy::{is_model, satisfies, satisfies_all, violations};
+    pub use ged_engine::{
+        validate_parallel, validate_rules_parallel, violations_sharded, ApplyStats,
+        IncrementalValidator, ViolationStore,
+    };
     pub use ged_ext::{
         disj_implies, disj_satisfiable, disj_satisfies, gdc_implies, gdc_satisfiable,
         gdc_satisfies, DisjGed, Gdc, GdcLiteral, Pred,
     };
-    pub use ged_graph::{sym, Graph, GraphBuilder, NodeId, Symbol, Value};
+    pub use ged_graph::{
+        sym, Delta, DeltaEffect, DeltaSet, Graph, GraphBuilder, NodeId, Symbol, Value,
+    };
     pub use ged_pattern::{parse_pattern, MatchOptions, Pattern, Semantics, Var};
 }
 

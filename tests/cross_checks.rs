@@ -134,7 +134,7 @@ fn egd_pair_end_to_end() {
         rhs: vec!["b".into()],
     };
     let fd_ged = fd_to_ged(&fd);
-    assert!(implies(&[phi_e.clone()], &fd_ged));
+    assert!(implies(std::slice::from_ref(&phi_e), &fd_ged));
     assert!(implies(&[fd_ged], &phi_e));
 }
 

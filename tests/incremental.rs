@@ -1,0 +1,260 @@
+//! Incremental ≡ full: randomized delta sequences over the datagen graphs,
+//! asserting after every step that the `IncrementalValidator`'s maintained
+//! violation set equals a from-scratch `validate` of the same graph.
+//!
+//! The acceptance-scale run (10k nodes, 1k deltas) is `#[ignore]`d so the
+//! default test pass stays fast; run it with
+//! `cargo test --release --test incremental -- --ignored`.
+
+use ged_datagen::random::{plant_key_violations, random_graph, random_sigma, RandomGraphConfig};
+use ged_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Normalise a report to a comparable set of witnesses.
+fn witness_set(
+    report: &ged_repro::core::ValidationReport,
+) -> BTreeSet<(String, Vec<NodeId>, Vec<String>)> {
+    report
+        .violations
+        .iter()
+        .map(|v| {
+            let mut failed: Vec<String> = v.failed.iter().map(|l| format!("{l:?}")).collect();
+            failed.sort();
+            (v.ged_name.clone(), v.assignment.clone(), failed)
+        })
+        .collect()
+}
+
+/// Assert the incremental store equals full revalidation right now.
+fn assert_matches_full(v: &IncrementalValidator, step: usize) {
+    let full = validate(v.graph(), v.sigma(), None);
+    let incremental = v.report();
+    assert_eq!(
+        witness_set(&incremental),
+        witness_set(&full),
+        "incremental and full reports diverged at step {step}"
+    );
+    assert_eq!(incremental.satisfied(), full.satisfied(), "step {step}");
+    for (a, b) in incremental.per_ged.iter().zip(&full.per_ged) {
+        assert_eq!(a.name, b.name, "step {step}");
+        assert_eq!(
+            a.violation_count, b.violation_count,
+            "step {step}: {}",
+            a.name
+        );
+    }
+}
+
+/// Draw one random delta against the *current* graph, biased towards
+/// attribute writes (the common production update) but exercising every
+/// variant including node/edge removal.
+fn random_delta(g: &Graph, rng: &mut StdRng, attrs: &[Symbol], values: i64) -> Delta {
+    let live: Vec<NodeId> = g.nodes().collect();
+    let labels: Vec<Symbol> = g.labels().collect();
+    let edges: Vec<_> = g.edges().collect();
+    let pick_node = |rng: &mut StdRng| live[rng.random_range(0..live.len())];
+    let pick_attr = |rng: &mut StdRng| attrs[rng.random_range(0..attrs.len())];
+    loop {
+        match rng.random_range(0..10u32) {
+            0 => {
+                return Delta::AddNode {
+                    label: labels[rng.random_range(0..labels.len())],
+                }
+            }
+            1 if live.len() > 2 => {
+                return Delta::RemoveNode {
+                    node: pick_node(rng),
+                }
+            }
+            2 | 3 if !live.is_empty() => {
+                let elabels: Vec<Symbol> = if edges.is_empty() {
+                    vec![sym("e0")]
+                } else {
+                    edges.iter().map(|e| e.label).collect()
+                };
+                return Delta::AddEdge {
+                    src: pick_node(rng),
+                    label: elabels[rng.random_range(0..elabels.len())],
+                    dst: pick_node(rng),
+                };
+            }
+            4 if !edges.is_empty() => {
+                let e = edges[rng.random_range(0..edges.len())];
+                return Delta::RemoveEdge {
+                    src: e.src,
+                    label: e.label,
+                    dst: e.dst,
+                };
+            }
+            5..=7 if !live.is_empty() => {
+                return Delta::SetAttr {
+                    node: pick_node(rng),
+                    attr: pick_attr(rng),
+                    value: Value::from(rng.random_range(0..values)),
+                }
+            }
+            8 if !live.is_empty() => {
+                return Delta::DelAttr {
+                    node: pick_node(rng),
+                    attr: pick_attr(rng),
+                }
+            }
+            _ if live.is_empty() => {
+                return Delta::AddNode {
+                    label: sym("entity"),
+                }
+            }
+            _ => continue,
+        }
+    }
+}
+
+/// Build the standard evolving-graph workload: a random graph with a
+/// planted key plus random rules.
+fn workload(n_nodes: usize, extra_rules: usize, seed: u64) -> (Graph, Vec<Ged>) {
+    let cfg = RandomGraphConfig {
+        n_nodes,
+        n_edges: 3 * n_nodes,
+        seed,
+        ..Default::default()
+    };
+    let mut g = random_graph(&cfg);
+    let key = plant_key_violations(&mut g, "entity", n_nodes / 20 + 1);
+    let mut sigma = vec![key];
+    sigma.extend(random_sigma(extra_rules, 3, &cfg));
+    (g, sigma)
+}
+
+fn drive(mut v: IncrementalValidator, steps: usize, seed: u64, check_every: usize) {
+    let attrs: Vec<Symbol> = vec![sym("key"), sym("attr0"), sym("attr1")];
+    let mut rng = StdRng::seed_from_u64(seed);
+    for step in 0..steps {
+        let d = random_delta(v.graph(), &mut rng, &attrs, 4);
+        v.apply(&d);
+        if step % check_every == 0 {
+            assert_matches_full(&v, step);
+        }
+    }
+    assert_matches_full(&v, steps);
+}
+
+#[test]
+fn incremental_equals_full_random_graph_every_step() {
+    let (g, sigma) = workload(120, 2, 41);
+    let v = IncrementalValidator::with_threads(g, sigma, 2);
+    drive(v, 150, 7, 1);
+}
+
+#[test]
+fn incremental_equals_full_single_threaded() {
+    let (g, sigma) = workload(60, 1, 42);
+    let v = IncrementalValidator::with_threads(g, sigma, 1);
+    drive(v, 120, 8, 1);
+}
+
+#[test]
+fn incremental_equals_full_on_social_workload() {
+    let inst = ged_datagen::social::generate(&ged_datagen::social::SocialConfig::default());
+    let sigma = vec![ged_datagen::rules::phi5(2, "v1agr4")];
+    let mut v = IncrementalValidator::with_threads(inst.graph, sigma, 2);
+    // Social attrs: is_fake flags and blog keywords.
+    let attrs: Vec<Symbol> = vec![sym("is_fake"), sym("keyword")];
+    let mut rng = StdRng::seed_from_u64(5);
+    for step in 0..80 {
+        let d = random_delta(v.graph(), &mut rng, &attrs, 2);
+        v.apply(&d);
+        assert_matches_full(&v, step);
+    }
+}
+
+#[test]
+fn incremental_equals_full_on_music_workload() {
+    let inst = ged_datagen::music::generate(&ged_datagen::music::MusicConfig::default());
+    let sigma = ged_datagen::rules::music_keys();
+    let attrs: Vec<Symbol> = vec![sym("title"), sym("release"), sym("name")];
+    let mut v = IncrementalValidator::with_threads(inst.graph, sigma, 2);
+    let mut rng = StdRng::seed_from_u64(6);
+    for step in 0..60 {
+        let d = random_delta(v.graph(), &mut rng, &attrs, 3);
+        v.apply(&d);
+        assert_matches_full(&v, step);
+    }
+}
+
+#[test]
+fn incremental_equals_full_on_coloring_workload() {
+    let inst = ged_datagen::coloring::ColoringInstance::random(7, 4, 9);
+    let (g, ged) = ged_datagen::coloring::validation_gfdx(&inst);
+    let attrs: Vec<Symbol> = vec![sym("A")];
+    let mut v = IncrementalValidator::with_threads(g, vec![ged], 2);
+    let mut rng = StdRng::seed_from_u64(10);
+    for step in 0..60 {
+        let d = random_delta(v.graph(), &mut rng, &attrs, 3);
+        v.apply(&d);
+        assert_matches_full(&v, step);
+    }
+}
+
+#[test]
+fn batched_delta_sets_equal_full() {
+    let (g, sigma) = workload(80, 1, 43);
+    let mut v = IncrementalValidator::with_threads(g, sigma, 2);
+    let attrs: Vec<Symbol> = vec![sym("key"), sym("attr0"), sym("attr1")];
+    let mut rng = StdRng::seed_from_u64(11);
+    for batch_no in 0..15 {
+        let mut batch = DeltaSet::new();
+        for _ in 0..10 {
+            // Batch entries are drawn against the pre-batch graph, so some
+            // may become no-ops (e.g. edges to nodes removed earlier in the
+            // batch) — exactly what the engine must tolerate.
+            batch.push(random_delta(v.graph(), &mut rng, &attrs, 4));
+        }
+        v.apply_all(&batch);
+        assert_matches_full(&v, batch_no);
+    }
+}
+
+#[test]
+fn evolved_graphs_chase_after_compaction() {
+    // The chase requires dense ids; an evolved graph must be compacted
+    // first (it hard-asserts otherwise — see `Graph::compact`).
+    let (g, sigma) = workload(40, 0, 44);
+    let mut v = IncrementalValidator::with_threads(g, sigma, 1);
+    let victim = v.graph().nodes().nth(3).unwrap();
+    v.apply(&Delta::RemoveNode { node: victim });
+    let sigma = v.sigma().to_vec();
+    let evolved = v.into_graph();
+    assert!(evolved.has_removals());
+
+    let (dense, _map) = evolved.compact();
+    let result = chase(&dense, &sigma);
+    assert!(result.stats().within_bounds());
+    // The chased coercion satisfies Σ (Theorem 1) when consistent.
+    if let ChaseResult::Consistent { coercion, .. } = result {
+        assert!(satisfies_all(&coercion.graph, &sigma));
+    }
+}
+
+#[test]
+#[should_panic(expected = "compact")]
+fn chase_rejects_tombstoned_graphs() {
+    let (g, sigma) = workload(20, 0, 45);
+    let mut v = IncrementalValidator::with_threads(g, sigma, 1);
+    let victim = v.graph().nodes().next().unwrap();
+    v.apply(&Delta::RemoveNode { node: victim });
+    let sigma = v.sigma().to_vec();
+    let _ = chase(&v.into_graph(), &sigma);
+}
+
+/// The acceptance-scale scenario: 10k-node datagen graph, 1k random
+/// deltas, incremental report equals full revalidation at every step.
+/// Run with `cargo test --release --test incremental -- --ignored`.
+#[test]
+#[ignore = "acceptance-scale; run in release mode"]
+fn acceptance_10k_nodes_1k_deltas_every_step() {
+    let (g, sigma) = workload(10_000, 2, 47);
+    let v = IncrementalValidator::new(g, sigma);
+    drive(v, 1_000, 12, 1);
+}

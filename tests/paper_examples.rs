@@ -58,8 +58,7 @@ fn example1_entity_resolution() {
         seed: 77,
     };
     let inst = gen_music(&cfg);
-    let ChaseResult::Consistent { coercion, .. } = chase(&inst.graph, &rules::music_keys())
-    else {
+    let ChaseResult::Consistent { coercion, .. } = chase(&inst.graph, &rules::music_keys()) else {
         panic!("resolution must be a valid chase")
     };
     assert_eq!(
@@ -143,7 +142,11 @@ fn example5_6_satisfiability() {
     let model = build_model(std::slice::from_ref(&uoe)).expect("satisfiable");
     assert_eq!(model.nodes_with_label(sym("UoE")).len(), 1);
     assert_eq!(
-        ged_pattern::count(&fragments::uoe_pattern(), &model, MatchOptions::isomorphism()),
+        ged_pattern::count(
+            &fragments::uoe_pattern(),
+            &model,
+            MatchOptions::isomorphism()
+        ),
         0,
         "under subgraph isomorphism the pattern cannot match its own model"
     );
@@ -180,7 +183,11 @@ fn example7_implication_and_proof() {
     proof.check().unwrap();
     // Soundness of every intermediate step.
     for step in &proof.steps {
-        assert!(implies(&sigma, &step.conclusion), "unsound: {}", step.conclusion);
+        assert!(
+            implies(&sigma, &step.conclusion),
+            "unsound: {}",
+            step.conclusion
+        );
     }
 }
 
@@ -192,7 +199,7 @@ fn example8_derived_rules() {
     let phi = Ged::new("φ", q.clone(), vec![lit("A")], vec![lit("B")]);
     let aug = prove_augmentation(&phi, &[lit("Z")]).unwrap();
     aug.check().unwrap();
-    assert!(implies(&[phi.clone()], aug.conclusion()));
+    assert!(implies(std::slice::from_ref(&phi), aug.conclusion()));
 
     let phi2 = Ged::new("φ2", q.clone(), vec![lit("B")], vec![lit("C")]);
     let tr = prove_transitivity(&phi, &phi2).unwrap();

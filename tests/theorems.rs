@@ -41,7 +41,10 @@ fn theorem1_chase_properties() {
         let g = random_graph(&cfg);
         let sigma = random_sigma(3, 2, &cfg);
         let result = chase(&g, &sigma);
-        assert!(result.stats().within_bounds(), "Theorem 1 bounds, seed {seed}");
+        assert!(
+            result.stats().within_bounds(),
+            "Theorem 1 bounds, seed {seed}"
+        );
         if let ChaseResult::Consistent { coercion, .. } = &result {
             assert!(
                 satisfies_all(&coercion.graph, &sigma),
@@ -135,7 +138,12 @@ fn theorem7_provability_matches_implication() {
     let lit = |a: &str| Literal::vars(Var(0), sym(a), Var(1), sym(a));
     let s1 = Ged::new("s1", q.clone(), vec![lit("A")], vec![lit("B")]);
     let s2 = Ged::new("s2", q.clone(), vec![lit("B")], vec![lit("C")]);
-    let key = Ged::new("key", q.clone(), vec![lit("K")], vec![Literal::id(Var(0), Var(1))]);
+    let key = Ged::new(
+        "key",
+        q.clone(),
+        vec![lit("K")],
+        vec![Literal::id(Var(0), Var(1))],
+    );
     let sigma = vec![s1, s2, key];
     let candidates = vec![
         Ged::new("c1", q.clone(), vec![lit("A")], vec![lit("C")]),
@@ -147,7 +155,12 @@ fn theorem7_provability_matches_implication() {
             vec![lit("K"), Literal::vars(Var(0), sym("P"), Var(0), sym("P"))],
             vec![Literal::vars(Var(0), sym("P"), Var(1), sym("P"))],
         ),
-        Ged::new("c5", q.clone(), vec![lit("K"), lit("A")], vec![lit("B"), lit("C")]),
+        Ged::new(
+            "c5",
+            q.clone(),
+            vec![lit("K"), lit("A")],
+            vec![lit("B"), lit("C")],
+        ),
         Ged::new("c6", q.clone(), vec![lit("B")], vec![lit("C"), lit("A")]),
     ];
     for phi in candidates {

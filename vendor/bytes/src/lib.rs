@@ -1,0 +1,198 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements exactly the subset `ged-graph::io` uses for its binary
+//! snapshot format: [`BytesMut`] as an append-only builder ([`BufMut`]) and
+//! [`Bytes`] as a consuming read cursor ([`Buf`]), little-endian fixed-width
+//! integer accessors, and `freeze`/`from_static`/`to_vec` conversions.
+//! Unlike the real crate there is no refcounted sharing — `Bytes` owns its
+//! buffer — which is irrelevant for the snapshot use case.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Wrap a static slice.
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Copy the *remaining* bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+
+    /// Length of the remaining bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Is the buffer exhausted?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes { data, pos: 0 }
+    }
+}
+
+/// Read-side cursor operations (little-endian). All getters panic if the
+/// buffer has too few remaining bytes, like the real crate.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Read `len` raw bytes.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Read a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64;
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(self.remaining() >= len, "copy_to_bytes past end of buffer");
+        let out = self.data[self.pos..self.pos + len].to_vec();
+        self.pos += len;
+        Bytes { data: out, pos: 0 }
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.remaining() >= 1, "get_u8 past end of buffer");
+        let b = self.data[self.pos];
+        self.pos += 1;
+        b
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let b = self.copy_to_bytes(4);
+        u32::from_le_bytes(b.data.try_into().unwrap())
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        let b = self.copy_to_bytes(8);
+        i64::from_le_bytes(b.data.try_into().unwrap())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        let b = self.copy_to_bytes(8);
+        f64::from_le_bytes(b.data.try_into().unwrap())
+    }
+}
+
+/// A growable byte buffer being written.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Write-side append operations (little-endian).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Append a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64);
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_i64_le(&mut self, v: i64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut w = BytesMut::new();
+        w.put_u8(7);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_i64_le(-42);
+        w.put_f64_le(1.5);
+        w.put_slice(b"hi");
+        let mut r = w.freeze();
+        assert_eq!(r.remaining(), 1 + 4 + 8 + 8 + 2);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_i64_le(), -42);
+        assert_eq!(r.get_f64_le(), 1.5);
+        assert_eq!(r.copy_to_bytes(2).to_vec(), b"hi");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn reading_past_end_panics() {
+        let mut b = Bytes::from_static(&[1, 2]);
+        b.get_u32_le();
+    }
+}
