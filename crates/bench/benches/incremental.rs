@@ -4,23 +4,11 @@
 //! deltas must beat re-running full validation after each delta.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ged_bench::attr_burst;
 use ged_core::ged::Ged;
 use ged_core::reason::validate;
 use ged_engine::{Delta, IncrementalValidator};
-use ged_graph::{sym, Graph, NodeId, Symbol, Value};
-
-/// A burst of attribute flips over the graph's nodes, deterministic and
-/// label-agnostic (stride-indexed so no RNG dependency is needed here).
-fn attr_burst(g: &Graph, attr: Symbol, n_deltas: usize, n_values: usize) -> Vec<Delta> {
-    let nodes: Vec<NodeId> = g.nodes().collect();
-    (0..n_deltas)
-        .map(|i| Delta::SetAttr {
-            node: nodes[(i * 97) % nodes.len()],
-            attr,
-            value: Value::from(format!("v{}", i % n_values)),
-        })
-        .collect()
-}
+use ged_graph::{sym, Graph};
 
 fn bench_workload(
     c: &mut Criterion,

@@ -3,8 +3,12 @@
 //! measured results are recorded in EXPERIMENTS.md).
 //!
 //! Run with `cargo run -p ged-bench --release --bin experiments`.
+//! Any arguments act as section filters matched against the experiment
+//! ids (e.g. `-- EXP-INC` runs only the incremental section); EXP-INC
+//! additionally writes its rows to `BENCH_INC.json` so the incremental
+//! perf trajectory is machine-readable across PRs.
 
-use ged_bench::{chain_implication, timed, timed_median, us, validation_workload};
+use ged_bench::{attr_burst, chain_implication, timed, timed_median, us, validation_workload};
 use ged_core::axiom::completeness::prove;
 use ged_core::axiom::derived::{prove_augmentation, prove_transitivity};
 use ged_core::chase::{chase, chase_random, ChaseResult};
@@ -34,23 +38,38 @@ fn main() {
     println!("GED reproduction — experiments harness");
     println!("Paper: Dependencies for Graphs (Fan & Lu, PODS 2017)");
 
-    exp_t1_sat();
-    exp_t1_imp();
-    exp_t1_val();
-    exp_t1_frontier();
-    exp_t1_ext();
-    exp_thm1();
-    exp_fig2();
-    exp_fig3();
-    exp_fig4();
-    exp_tab2();
-    exp_ex1_3();
-    exp_ex9_10();
-    exp_abl_match();
-    exp_parallel();
+    let sections: &[(&str, fn())] = &[
+        ("EXP-T1-SAT", exp_t1_sat),
+        ("EXP-T1-IMP", exp_t1_imp),
+        ("EXP-T1-VAL", exp_t1_val),
+        ("EXP-T1-FRONTIER", exp_t1_frontier),
+        ("EXP-T1-EXT", exp_t1_ext),
+        ("EXP-THM1", exp_thm1),
+        ("EXP-FIG2", exp_fig2),
+        ("EXP-FIG3", exp_fig3),
+        ("EXP-FIG4", exp_fig4),
+        ("EXP-TAB2", exp_tab2),
+        ("EXP-EX1", exp_ex1_3),
+        ("EXP-EX9", exp_ex9_10),
+        ("EXP-ABL", exp_abl_match),
+        ("EXP-PAR", exp_parallel),
+        ("EXP-INC", exp_inc),
+    ];
+    let filters: Vec<String> = std::env::args().skip(1).collect();
+    let mut ran = 0;
+    for (id, run) in sections {
+        if filters.is_empty() || filters.iter().any(|f| id.contains(f.as_str())) {
+            run();
+            ran += 1;
+        }
+    }
 
     println!();
-    println!("All experiment sections completed.");
+    if ran == sections.len() {
+        println!("All experiment sections completed.");
+    } else {
+        println!("{ran} experiment section(s) matched {filters:?}.");
+    }
 }
 
 /// Instances used across the Table 1 hardness rows.
@@ -667,6 +686,133 @@ fn exp_abl_match() {
         };
         let (n, d) = timed_median(3, || ged_pattern::count(&q, &g, opts));
         println!("  {name:<18} {n:>6} matches in {:>10} µs", us(d));
+    }
+}
+
+/// EXP-INC — incremental maintenance vs full revalidation on all four
+/// datagen workloads, with the rows also written to `BENCH_INC.json` so
+/// the perf trajectory can be tracked machine-readably across PRs.
+fn exp_inc() {
+    use ged_engine::IncrementalValidator;
+    use ged_graph::{Delta, Graph};
+
+    header(
+        "EXP-INC",
+        "incremental vs full revalidation under small deltas (all four workloads)",
+    );
+    println!(
+        "{:<12} {:>7} | {:>14} {:>14} | {:>9}",
+        "workload", "deltas", "incremental µs", "full µs", "speedup"
+    );
+
+    struct IncRow {
+        workload: &'static str,
+        delta_size: usize,
+        incremental_us: f64,
+        full_us: f64,
+        speedup: f64,
+    }
+    let mut rows: Vec<IncRow> = Vec::new();
+    let mut run = |name: &'static str, graph: Graph, sigma: Vec<Ged>, deltas: Vec<Delta>| {
+        // Seeding (the one-off full pass) and the per-repetition clones
+        // happen outside the timed windows: the claim under test is the
+        // per-update cost, not clone throughput.
+        let seeded = IncrementalValidator::new(graph.clone(), sigma.clone());
+        let median3 = |f: &mut dyn FnMut() -> (usize, std::time::Duration)| {
+            let mut reps: Vec<(usize, std::time::Duration)> = (0..3).map(|_| f()).collect();
+            reps.sort_by_key(|&(_, d)| d);
+            reps[1]
+        };
+        let (inc_violations, d_inc) = median3(&mut || {
+            let mut v = seeded.clone();
+            let t0 = std::time::Instant::now();
+            for d in &deltas {
+                v.apply(d);
+            }
+            (v.violation_count(), t0.elapsed())
+        });
+        let (full_violations, d_full) = median3(&mut || {
+            let mut g = graph.clone();
+            let t0 = std::time::Instant::now();
+            let mut total = 0;
+            for d in &deltas {
+                g.apply_delta(d);
+                total = validate(&g, &sigma, None).total_violations();
+            }
+            (total, t0.elapsed())
+        });
+        assert_eq!(
+            inc_violations, full_violations,
+            "incremental equals full after the burst on {name}"
+        );
+        let speedup = d_full.as_secs_f64() / d_inc.as_secs_f64().max(1e-12);
+        println!(
+            "{:<12} {:>7} | {:>14} {:>14} | {:>8.1}x",
+            name,
+            deltas.len(),
+            us(d_inc),
+            us(d_full),
+            speedup
+        );
+        rows.push(IncRow {
+            workload: name,
+            delta_size: deltas.len(),
+            incremental_us: d_inc.as_secs_f64() * 1e6,
+            full_us: d_full.as_secs_f64() * 1e6,
+            speedup,
+        });
+    };
+
+    let w = validation_workload(1_000, 3, 2, 7);
+    let deltas = attr_burst(&w.graph, sym("key"), 10, 25);
+    run("random-1k", w.graph, w.sigma, deltas);
+
+    let scfg = SocialConfig {
+        n_honest: 150,
+        ..Default::default()
+    };
+    let sinst = gen_social(&scfg);
+    let deltas = attr_burst(&sinst.graph, sym("keyword"), 10, 8);
+    run(
+        "social",
+        sinst.graph,
+        vec![rules::phi5(scfg.k, &scfg.keyword)],
+        deltas,
+    );
+
+    let mcfg = MusicConfig {
+        n_clean: 150,
+        n_dupes: 15,
+        ..Default::default()
+    };
+    let minst = gen_music(&mcfg);
+    let deltas = attr_burst(&minst.graph, sym("title"), 10, 12);
+    run("music", minst.graph, rules::music_keys(), deltas);
+
+    let cinst = ColoringInstance::random(7, 4, 9);
+    let (cgraph, cged) = validation_gfdx(&cinst);
+    let deltas = attr_burst(&cgraph, sym("A"), 10, 3);
+    run("coloring", cgraph, vec![cged], deltas);
+
+    // Hand-rolled JSON (the workspace is offline; no serde) — one object
+    // per workload row, schema kept flat for easy diffing across PRs.
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"workload\": \"{}\", \"delta_size\": {}, \"incremental_us\": {:.1}, \
+                 \"full_us\": {:.1}, \"speedup\": {:.2}}}",
+                r.workload, r.delta_size, r.incremental_us, r.full_us, r.speedup
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"EXP-INC\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    match std::fs::write("BENCH_INC.json", &json) {
+        Ok(()) => println!("wrote BENCH_INC.json ({} rows)", rows.len()),
+        Err(e) => println!("could not write BENCH_INC.json: {e}"),
     }
 }
 

@@ -12,9 +12,13 @@
 //! | `frontier`      | EXP-T1-FRONTIER             |
 //! | `extensions`    | EXP-T1-EXT                  |
 //! | `matching`      | EXP-ABL-MATCH               |
+//! | `incremental`   | EXP-INC                     |
+//! | `delta_path`    | EXP-DROP / EXP-ANCHOR       |
 //!
 //! `cargo run -p ged-bench --release --bin experiments` regenerates every
-//! EXP row (including the figure/example reproductions) as text tables.
+//! EXP row (including the figure/example reproductions) as text tables;
+//! arguments filter sections by experiment id, and EXP-INC additionally
+//! writes `BENCH_INC.json` for cross-PR perf tracking.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -24,7 +28,7 @@ pub mod par;
 use ged_core::ged::Ged;
 use ged_core::literal::Literal;
 use ged_datagen::random::{self, RandomGraphConfig};
-use ged_graph::{sym, Graph};
+use ged_graph::{sym, Delta, Graph, NodeId, Symbol, Value};
 use ged_pattern::{Pattern, Var};
 
 /// A validation workload: a random graph with planted key violations and
@@ -55,6 +59,20 @@ pub fn validation_workload(
     let mut sigma = vec![key];
     sigma.extend(random::random_sigma(extra_rules, pattern_size, &cfg));
     ValidationWorkload { graph, sigma }
+}
+
+/// A burst of attribute flips over the graph's nodes, deterministic and
+/// label-agnostic (stride-indexed so no RNG dependency is needed) — the
+/// standard small-delta update stream of the EXP-INC workloads.
+pub fn attr_burst(g: &Graph, attr: Symbol, n_deltas: usize, n_values: usize) -> Vec<Delta> {
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    (0..n_deltas)
+        .map(|i| Delta::SetAttr {
+            node: nodes[(i * 97) % nodes.len()],
+            attr,
+            value: Value::from(format!("v{}", i % n_values)),
+        })
+        .collect()
 }
 
 /// A chain-implication workload: Σ = {A0→A1, A1→A2, …}, goal A0→A_len.

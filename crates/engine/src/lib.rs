@@ -14,7 +14,11 @@
 //!   (GED, witness match), ingests [`Delta`]s / batched [`DeltaSet`]s, and
 //!   after each update recomputes only the *affected area* — matches whose
 //!   image intersects the nodes the delta touched — instead of re-running
-//!   full validation.
+//!   full validation. The delta path is output-sensitive end to end: the
+//!   store prunes via an inverted `NodeId → witness` index (no store
+//!   scan), and re-enumeration uses exclusion-aware anchored matching so
+//!   each affected match is visited exactly once (no enumerate-and-discard
+//!   responsibility filter).
 //!
 //! The affected-area argument (see `DESIGN.md` §4 for the proof sketch):
 //! a delta can change the violation status only of matches whose image

@@ -107,8 +107,8 @@ pub fn violations_sharded(g: &Graph, ged: &Ged, threads: usize) -> Vec<Violation
                 })
             })
             .collect();
-        for h in handles {
-            all.extend(h.join().expect("shard worker panicked"));
+        for vs in crate::validator::join_all_propagating(handles) {
+            all.extend(vs);
         }
     });
     all

@@ -21,13 +21,19 @@
 //!    matches whose image contains the dead endpoint — the first case.
 //!
 //! Hence the per-update recipe: apply the deltas; drop every stored
-//! witness whose image meets `T` (dead ids still included); then
-//! re-enumerate only matches whose image meets the *live* part of `T` via
-//! anchored matching ([`Matcher::for_each_anchored`]) and store the
-//! violating ones. Each re-enumerated match is counted exactly once by a
-//! responsibility rule: the *first* pattern variable (in declaration
-//! order) mapped into `T` owns the match.
+//! witness whose image meets `T` — an inverted-index lookup proportional
+//! to the *affected* witnesses, not the store
+//! ([`ViolationStore::drop_intersecting`]); then re-enumerate only matches
+//! whose image meets the *live* part of `T` via exclusion-aware anchored
+//! matching ([`Matcher::for_each_anchored_excluding`]): anchoring each
+//! pattern variable `v` on `T` while *excluding* `T` from the candidate
+//! domains of variables declared before `v` enumerates exactly the matches
+//! whose first touched variable is `v`, so the union over anchors visits
+//! each affected match exactly once — no post-hoc owner filter, no
+//! redundant matching work.
 //!
+//! Both hot loops are thereby output-sensitive: per update the engine does
+//! work proportional to the affected area, never to global state.
 //! Recomputation fans out across worker threads at rule granularity —
 //! the same sharding [`par`](crate::par) uses for full validation.
 
@@ -48,10 +54,17 @@ use std::ops::ControlFlow;
 pub struct ApplyStats {
     /// Deltas that actually changed the graph (no-ops excluded).
     pub deltas_applied: usize,
-    /// Witnesses dropped from the store (died or superseded).
+    /// Witnesses present before the update and gone after it. A witness
+    /// the affected-area pass drops and immediately re-derives is
+    /// *retained*, not removed — churn is measured against the pre-update
+    /// store, not against the internal drop/re-enumerate cycle.
     pub violations_removed: usize,
-    /// Witnesses (re-)added by affected-area re-enumeration.
+    /// Witnesses absent before the update and present after it.
     pub violations_added: usize,
+    /// Affected witnesses that survived the update: dropped by the prune
+    /// and re-derived unchanged (same GED and assignment; their failed
+    /// literals are refreshed) by re-enumeration.
+    pub violations_retained: usize,
     /// Nodes in the touched set that seeded re-enumeration.
     pub touched_nodes: usize,
     /// Ids of the nodes created by `AddNode` deltas, in application order —
@@ -90,7 +103,7 @@ impl IncrementalValidator {
     /// (`1` = fully sequential).
     pub fn with_threads(graph: Graph, sigma: Vec<Ged>, threads: usize) -> IncrementalValidator {
         assert!(threads >= 1);
-        let mut store = ViolationStore::new(sigma.len());
+        let mut store = ViolationStore::for_sigma(&sigma);
         let per_ged: Vec<Vec<(Match, Vec<Literal>)>> = run_sharded(threads, &sigma, |ged| {
             violations(&graph, ged, None)
                 .into_iter()
@@ -175,12 +188,11 @@ impl IncrementalValidator {
             return stats;
         }
 
-        let before = self.store.total();
         // Drop while `touched` still holds removed ids, so witnesses of
-        // dead nodes (and of edges whose endpoints these are) go too.
-        self.store.drop_intersecting(&touched);
+        // dead nodes (and of edges whose endpoints these are) go too. The
+        // dropped entries are the pre-update snapshot of the affected area.
+        let dropped = self.store.drop_intersecting(&touched);
         let pruned = self.store.total();
-        stats.violations_removed = before - pruned;
 
         // Only live nodes seed re-enumeration (ids removed by this batch
         // have no matches to contribute).
@@ -208,7 +220,17 @@ impl IncrementalValidator {
                 }
             }
         }
-        stats.violations_added = self.store.total() - pruned;
+        // Classify churn against the snapshot: a dropped witness the
+        // re-enumeration restored was retained, not removed + re-added.
+        // Every re-enumerated match that was stored before the update was
+        // necessarily dropped (its image meets `touched`), so the inserted
+        // keys split exactly into retained (in the snapshot) and new.
+        stats.violations_retained = dropped
+            .iter()
+            .filter(|(gi, m, _)| self.store.contains(*gi, m))
+            .count();
+        stats.violations_removed = dropped.len() - stats.violations_retained;
+        stats.violations_added = self.store.total() - pruned - stats.violations_retained;
         stats
     }
 
@@ -222,6 +244,12 @@ impl IncrementalValidator {
 /// `touched`, each exactly once. This is the affected area of a delta with
 /// touched set `touched`; see the module docs for why nothing outside it
 /// can change status.
+///
+/// Exactly-once discipline: the match whose *first* touched variable (in
+/// declaration order) is `v` is enumerated only when anchoring `v` —
+/// variables declared before `v` have the touched nodes *excluded* from
+/// their candidate domains, so every other anchoring prunes the match
+/// before it is ever completed. No match is enumerated and then discarded.
 fn affected_violations(
     g: &Graph,
     ged: &Ged,
@@ -243,22 +271,22 @@ fn affected_violations(
         if seeds.is_empty() {
             continue;
         }
-        matcher.for_each_anchored(v, &seeds, |m| {
-            // Responsibility rule: the first variable (declaration order)
-            // whose image is touched owns the match, so the union over
-            // anchor variables is duplicate-free.
-            let owner = ged
-                .pattern
-                .vars()
-                .find(|u| touched.contains(&m[u.idx()]))
-                .expect("anchored match must touch the seed");
-            if owner == v {
+        matcher.for_each_anchored_excluding(
+            v,
+            &seeds,
+            &|u, n| u.idx() < v.idx() && touched.contains(&n),
+            |m| {
+                debug_assert_eq!(
+                    ged.pattern.vars().find(|u| touched.contains(&m[u.idx()])),
+                    Some(v),
+                    "the anchor owns every match the exclusions let through"
+                );
                 if let Some(failed) = check_violation(g, m, ged) {
                     out.push((m.to_vec(), failed));
                 }
-            }
-            ControlFlow::Continue(())
-        });
+                ControlFlow::Continue(())
+            },
+        );
     }
     out
 }
@@ -266,6 +294,11 @@ fn affected_violations(
 /// Run `work` once per GED, sharding the rule list across `threads`
 /// workers; results come back in Σ order. The sequential path avoids any
 /// thread overhead for `threads == 1` or a single rule.
+///
+/// If workers panic, every handle is joined first — so no shard's work is
+/// abandoned mid-join — and then the *first* panic payload is resumed, so
+/// the original worker message (not a generic join error) reaches the
+/// user.
 pub(crate) fn run_sharded<T: Send>(
     threads: usize,
     sigma: &[Ged],
@@ -284,8 +317,7 @@ pub(crate) fn run_sharded<T: Send>(
             .enumerate()
             .map(|(ci, chunk)| s.spawn(move || (ci, chunk.iter().map(work).collect::<Vec<T>>())))
             .collect();
-        for h in handles {
-            let (ci, vals) = h.join().expect("validation worker panicked");
+        for (ci, vals) in join_all_propagating(handles) {
             for (i, v) in vals.into_iter().enumerate() {
                 results[ci * chunk_size + i] = Some(v);
             }
@@ -295,6 +327,32 @@ pub(crate) fn run_sharded<T: Send>(
         .into_iter()
         .map(|o| o.expect("shard covered"))
         .collect()
+}
+
+/// Join every scoped worker handle, collecting the successful results;
+/// if any worker panicked, resume the *first* panic payload only after
+/// all handles are joined — no shard's work is abandoned mid-join, and
+/// the original worker message (not a generic join error) reaches the
+/// caller.
+pub(crate) fn join_all_propagating<T>(
+    handles: Vec<std::thread::ScopedJoinHandle<'_, T>>,
+) -> Vec<T> {
+    let mut out = Vec::with_capacity(handles.len());
+    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    for h in handles {
+        match h.join() {
+            Ok(v) => out.push(v),
+            Err(payload) => {
+                if first_panic.is_none() {
+                    first_panic = Some(payload);
+                }
+            }
+        }
+    }
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -447,6 +505,87 @@ mod tests {
         let stats = v.apply_all(&batch);
         assert_eq!(stats.violations_added, 2);
         assert_consistent(&v);
+    }
+
+    /// Regression: an attribute write that leaves the violation set
+    /// identical used to count the affected witnesses in *both*
+    /// `violations_removed` and `violations_added` (the drop/re-derive
+    /// cycle leaked into the stats). They are retained, full stop.
+    #[test]
+    fn unrelated_attr_write_counts_retained_not_churn() {
+        let mut v = IncrementalValidator::with_threads(two_dupes(), vec![key_ged()], 1);
+        assert_eq!(v.violation_count(), 2);
+        let a = v.graph().nodes().next().unwrap();
+        let stats = v.apply(&Delta::SetAttr {
+            node: a,
+            attr: sym("note"),
+            value: Value::from("irrelevant"),
+        });
+        assert_eq!(stats.deltas_applied, 1);
+        assert_eq!(stats.violations_removed, 0, "no witness died");
+        assert_eq!(stats.violations_added, 0, "no witness appeared");
+        assert_eq!(stats.violations_retained, 2, "both witnesses re-derived");
+        assert_eq!(v.violation_count(), 2);
+        assert_consistent(&v);
+    }
+
+    #[test]
+    fn partial_churn_splits_removed_added_and_retained() {
+        // Three t-nodes with k=1: 6 symmetric witnesses among {a,b,c}.
+        let mut g = Graph::new();
+        let nodes: Vec<_> = (0..3).map(|_| g.add_node(sym("t"))).collect();
+        for &n in &nodes {
+            g.set_attr(n, sym("k"), 1);
+        }
+        let mut v = IncrementalValidator::with_threads(g, vec![key_ged()], 1);
+        assert_eq!(v.violation_count(), 6);
+        // Re-keying c: the 4 witnesses containing c die, the 2 among
+        // {a, b} are untouched (not even dropped), nothing is added.
+        let c = nodes[2];
+        let stats = v.apply(&Delta::SetAttr {
+            node: c,
+            attr: sym("k"),
+            value: Value::from(2),
+        });
+        assert_eq!(stats.violations_removed, 4);
+        assert_eq!(stats.violations_added, 0);
+        assert_eq!(stats.violations_retained, 0);
+        assert_eq!(v.violation_count(), 2);
+        assert_consistent(&v);
+    }
+
+    /// Regression: `run_sharded` used to `expect()` on the first failed
+    /// join, replacing the worker's panic message with a generic one and
+    /// abandoning the remaining handles. All workers are joined first,
+    /// then the first panic payload is resumed verbatim.
+    #[test]
+    fn run_sharded_propagates_the_original_worker_panic() {
+        let sigma: Vec<Ged> = (0..4)
+            .map(|i| {
+                Ged::new(
+                    format!("g{i}"),
+                    parse_pattern("t(x)").unwrap(),
+                    vec![],
+                    vec![],
+                )
+            })
+            .collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_sharded(2, &sigma, |ged| {
+                if ged.name != "g0" {
+                    panic!("worker failed on {}", ged.name);
+                }
+                0usize
+            })
+        }));
+        let payload = result.expect_err("a worker panicked");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("the original String payload survives the join");
+        assert!(
+            msg.contains("worker failed on g"),
+            "original message reaches the caller, got {msg:?}"
+        );
     }
 
     #[test]

@@ -99,7 +99,10 @@ impl<'a> Matcher<'a> {
     /// Returns `true` if enumeration ran to completion.
     pub fn for_each(&self, mut f: impl FnMut(&[NodeId]) -> ControlFlow<()>) -> bool {
         let mut assign: Vec<Option<NodeId>> = vec![None; self.pattern.var_count()];
-        self.backtrack(0, &mut assign, &mut f).is_continue()
+        // The no-exclusion closure monomorphizes to a constant `false`, so
+        // plain enumeration compiles down to the engine it always had.
+        self.backtrack(0, &mut assign, &|_, _| false, &mut f)
+            .is_continue()
     }
 
     /// Visit every match extending the given partial assignment (“seeded”
@@ -110,6 +113,24 @@ impl<'a> Matcher<'a> {
         seed: &[(Var, NodeId)],
         mut f: impl FnMut(&[NodeId]) -> ControlFlow<()>,
     ) -> bool {
+        self.for_each_seeded_excluding(seed, &|_, _| false, &mut f)
+    }
+
+    /// As [`Matcher::for_each_seeded`], additionally rejecting `v ↦ n`
+    /// whenever `excluded(v, n)` holds. The exclusion applies to the
+    /// *searched* variables only — seeded variables are pre-assigned and
+    /// exempt, which is exactly what anchored enumeration with a
+    /// responsibility discipline needs (the anchor deliberately maps into
+    /// the set other variables must avoid).
+    pub fn for_each_seeded_excluding<E>(
+        &self,
+        seed: &[(Var, NodeId)],
+        excluded: &E,
+        mut f: impl FnMut(&[NodeId]) -> ControlFlow<()>,
+    ) -> bool
+    where
+        E: Fn(Var, NodeId) -> bool + ?Sized,
+    {
         let mut assign: Vec<Option<NodeId>> = vec![None; self.pattern.var_count()];
         for &(v, n) in seed {
             if !self.pattern.label(v).matches(self.graph.label(n)) {
@@ -133,7 +154,8 @@ impl<'a> Matcher<'a> {
                 }
             }
         }
-        self.backtrack(0, &mut assign, &mut f).is_continue()
+        self.backtrack(0, &mut assign, excluded, &mut f)
+            .is_continue()
     }
 
     /// Visit every match that maps `anchor` to one of `seeds` (*anchored*
@@ -148,20 +170,49 @@ impl<'a> Matcher<'a> {
         seeds: &[NodeId],
         mut f: impl FnMut(&[NodeId]) -> ControlFlow<()>,
     ) -> bool {
+        self.for_each_anchored_excluding(anchor, seeds, &|_, _| false, &mut f)
+    }
+
+    /// Anchored enumeration with per-variable *excluded* candidate sets:
+    /// visit every match that maps `anchor` to one of `seeds` and maps no
+    /// variable `v` to a node `n` with `excluded(v, n)` (the anchor itself
+    /// is seeded and therefore exempt). Exclusions prune candidates at
+    /// assignment time, *before* the subtree below them is explored.
+    ///
+    /// This is how the incremental engine enumerates each affected match
+    /// exactly once: anchoring variable `v` on the touched set while
+    /// excluding touched nodes from all variables declared before `v`
+    /// leaves precisely the matches whose *first* touched variable is `v`,
+    /// so the union over anchor variables is duplicate-free — no post-hoc
+    /// owner filter, no redundant enumeration.
+    pub fn for_each_anchored_excluding<E>(
+        &self,
+        anchor: Var,
+        seeds: &[NodeId],
+        excluded: &E,
+        mut f: impl FnMut(&[NodeId]) -> ControlFlow<()>,
+    ) -> bool
+    where
+        E: Fn(Var, NodeId) -> bool + ?Sized,
+    {
         for &n in seeds {
-            if !self.for_each_seeded(&[(anchor, n)], &mut f) {
+            if !self.for_each_seeded_excluding(&[(anchor, n)], excluded, &mut f) {
                 return false;
             }
         }
         true
     }
 
-    fn backtrack(
+    fn backtrack<E>(
         &self,
         depth: usize,
         assign: &mut Vec<Option<NodeId>>,
+        excluded: &E,
         f: &mut impl FnMut(&[NodeId]) -> ControlFlow<()>,
-    ) -> ControlFlow<()> {
+    ) -> ControlFlow<()>
+    where
+        E: Fn(Var, NodeId) -> bool + ?Sized,
+    {
         // Skip already-assigned (seeded) variables.
         let mut depth = depth;
         while depth < self.order.len() && assign[self.order[depth].idx()].is_some() {
@@ -174,11 +225,11 @@ impl<'a> Matcher<'a> {
         let v = self.order[depth];
         let candidates = self.candidates(v, assign);
         for n in candidates {
-            if !self.consistent(v, n, assign) {
+            if excluded(v, n) || !self.consistent(v, n, assign) {
                 continue;
             }
             assign[v.idx()] = Some(n);
-            let flow = self.backtrack(depth + 1, assign, f);
+            let flow = self.backtrack(depth + 1, assign, excluded, f);
             assign[v.idx()] = None;
             flow?;
         }
@@ -581,6 +632,111 @@ mod tests {
         );
         assert!(!completed);
         assert_eq!(seen, 1);
+    }
+
+    /// The incremental engine's exactly-once discipline, probed at the
+    /// matcher level: anchoring each variable on the touched set while
+    /// excluding touched nodes from earlier-declared variables must visit
+    /// every affected match exactly once — the callback count equals the
+    /// number of distinct affected matches, with no discards.
+    #[test]
+    fn exclusion_aware_anchoring_enumerates_each_affected_match_once() {
+        use std::collections::HashSet;
+        let mut g = Graph::new();
+        let t = ged_graph::sym("t");
+        let nodes: Vec<NodeId> = (0..4).map(|_| g.add_node(t)).collect();
+        // Two independent variables: under homomorphism every ordered pair
+        // (including repeats) matches, so touched nodes appear in several
+        // variable positions at once — the case the old owner filter
+        // enumerated redundantly.
+        let mut q = Pattern::new();
+        q.var("x", "t");
+        q.var("y", "t");
+        let touched: HashSet<NodeId> = nodes[..2].iter().copied().collect();
+        let seeds: Vec<NodeId> = touched.iter().copied().collect();
+        let matcher = Matcher::new(&q, &g, MatchOptions::homomorphism());
+
+        let mut calls = 0usize;
+        let mut seen: HashSet<Match> = HashSet::new();
+        for v in q.vars() {
+            let completed = matcher.for_each_anchored_excluding(
+                v,
+                &seeds,
+                &|u, n| u.idx() < v.idx() && touched.contains(&n),
+                |m| {
+                    calls += 1;
+                    assert!(seen.insert(m.to_vec()), "match {m:?} enumerated twice");
+                    // The anchor owns the match: no earlier variable maps
+                    // into the touched set.
+                    let first_touched = q.vars().find(|u| touched.contains(&m[u.idx()]));
+                    assert_eq!(first_touched, Some(v));
+                    ControlFlow::Continue(())
+                },
+            );
+            assert!(completed);
+        }
+        // Affected matches: all (x, y) ∈ 4×4 with x or y touched.
+        let affected = find_all(&q, &g, MatchOptions::homomorphism())
+            .into_iter()
+            .filter(|m| m.iter().any(|n| touched.contains(n)))
+            .collect::<HashSet<_>>();
+        assert_eq!(affected.len(), 12, "4² pairs minus the 2² untouched ones");
+        assert_eq!(seen, affected, "exactly the affected matches");
+        assert_eq!(calls, affected.len(), "each enumerated exactly once");
+    }
+
+    #[test]
+    fn excluding_nothing_equals_plain_anchoring() {
+        let g = creator_graph();
+        let q = q1();
+        let x = q.var_by_name("x").unwrap();
+        let persons = g.nodes_with_label(ged_graph::sym("person")).to_vec();
+        let matcher = Matcher::new(&q, &g, MatchOptions::homomorphism());
+        let mut plain = Vec::new();
+        matcher.for_each_anchored(x, &persons, |m| {
+            plain.push(m.to_vec());
+            ControlFlow::Continue(())
+        });
+        let mut excluding = Vec::new();
+        matcher.for_each_anchored_excluding(x, &persons, &|_, _| false, |m| {
+            excluding.push(m.to_vec());
+            ControlFlow::Continue(())
+        });
+        assert_eq!(plain, excluding);
+    }
+
+    #[test]
+    fn exclusions_do_not_apply_to_seeds() {
+        let g = creator_graph();
+        let q = q1();
+        let x = q.var_by_name("x").unwrap();
+        let tony = g.nodes_with_label(ged_graph::sym("person"))[0];
+        // Excluding every node from every variable still lets the seeded
+        // anchor through — only searched variables are restricted (and
+        // here y's candidates are all excluded, so nothing completes).
+        let mut found = 0;
+        Matcher::new(&q, &g, MatchOptions::homomorphism()).for_each_anchored_excluding(
+            x,
+            &[tony],
+            &|_, _| true,
+            |_| {
+                found += 1;
+                ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(found, 0, "y is excluded everywhere");
+        // Excluding only x (the anchor) changes nothing.
+        let mut found = 0;
+        Matcher::new(&q, &g, MatchOptions::homomorphism()).for_each_anchored_excluding(
+            x,
+            &[tony],
+            &|u, _| u == x,
+            |_| {
+                found += 1;
+                ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(found, 1);
     }
 
     #[test]

@@ -101,6 +101,30 @@ fn random_delta(g: &Graph, rng: &mut StdRng, attrs: &[Symbol], values: i64) -> D
                     attr: pick_attr(rng),
                 }
             }
+            9 if !live.is_empty() => {
+                // Toggle a self-loop (src == dst): its footprint is a
+                // single node serving as both endpoints.
+                let n = pick_node(rng);
+                let elabels: Vec<Symbol> = if edges.is_empty() {
+                    vec![sym("e0")]
+                } else {
+                    edges.iter().map(|e| e.label).collect()
+                };
+                let label = elabels[rng.random_range(0..elabels.len())];
+                return if g.has_edge(n, label, n) {
+                    Delta::RemoveEdge {
+                        src: n,
+                        label,
+                        dst: n,
+                    }
+                } else {
+                    Delta::AddEdge {
+                        src: n,
+                        label,
+                        dst: n,
+                    }
+                };
+            }
             _ if live.is_empty() => {
                 return Delta::AddNode {
                     label: sym("entity"),
@@ -195,6 +219,178 @@ fn incremental_equals_full_on_coloring_workload() {
         v.apply(&d);
         assert_matches_full(&v, step);
     }
+}
+
+#[test]
+fn self_loop_pattern_tracks_self_loop_deltas() {
+    // φ: a node with an `e` self-loop must agree with itself on p vs q.
+    let mut q = Pattern::new();
+    let x = q.var("x", "t");
+    q.edge(x, "e", x);
+    let phi = Ged::new(
+        "selfloop",
+        q,
+        vec![],
+        vec![Literal::vars(x, sym("p"), x, sym("q"))],
+    );
+    let mut g = Graph::new();
+    let a = g.add_node(sym("t"));
+    let b = g.add_node(sym("t"));
+    g.set_attr(a, sym("p"), 1);
+    g.set_attr(a, sym("q"), 2);
+    g.set_attr(b, sym("p"), 1);
+    g.set_attr(b, sym("q"), 1);
+    g.add_edge(b, sym("e"), b);
+    let mut v = IncrementalValidator::with_threads(g, vec![phi], 1);
+    assert!(v.is_satisfied(), "b's self-loop agrees, a has no loop");
+
+    let stats = v.apply(&Delta::AddEdge {
+        src: a,
+        label: sym("e"),
+        dst: a,
+    });
+    assert_eq!(stats.touched_nodes, 1, "src == dst is one footprint node");
+    assert_eq!(v.violation_count(), 1);
+    assert_matches_full(&v, 1);
+
+    v.apply(&Delta::SetAttr {
+        node: a,
+        attr: sym("q"),
+        value: Value::from(1),
+    });
+    assert!(v.is_satisfied());
+    assert_matches_full(&v, 2);
+
+    v.apply(&Delta::SetAttr {
+        node: a,
+        attr: sym("q"),
+        value: Value::from(3),
+    });
+    assert_eq!(v.violation_count(), 1);
+    let stats = v.apply(&Delta::RemoveEdge {
+        src: a,
+        label: sym("e"),
+        dst: a,
+    });
+    assert_eq!(stats.violations_removed, 1);
+    assert!(v.is_satisfied());
+    assert_matches_full(&v, 3);
+}
+
+#[test]
+fn remove_then_re_add_within_one_batch_is_retained() {
+    // φ: connected t-nodes must agree on p. One violating edge a → b.
+    let q = parse_pattern("t(x) -[e]-> t(y)").unwrap();
+    let (x, y) = (q.var_by_name("x").unwrap(), q.var_by_name("y").unwrap());
+    let phi = Ged::new(
+        "agree",
+        q,
+        vec![],
+        vec![Literal::vars(x, sym("p"), y, sym("p"))],
+    );
+    let mut g = Graph::new();
+    let a = g.add_node(sym("t"));
+    let b = g.add_node(sym("t"));
+    g.set_attr(a, sym("p"), 1);
+    g.set_attr(b, sym("p"), 2);
+    g.add_edge(a, sym("e"), b);
+    let mut v = IncrementalValidator::with_threads(g, vec![phi], 1);
+    assert_eq!(v.violation_count(), 1);
+
+    // Remove the edge and put it straight back in the same batch: the
+    // witness survives the update — retained, neither removed nor added.
+    let batch: DeltaSet = vec![
+        Delta::RemoveEdge {
+            src: a,
+            label: sym("e"),
+            dst: b,
+        },
+        Delta::AddEdge {
+            src: a,
+            label: sym("e"),
+            dst: b,
+        },
+    ]
+    .into();
+    let stats = v.apply_all(&batch);
+    assert_eq!(stats.deltas_applied, 2);
+    assert_eq!(stats.violations_removed, 0);
+    assert_eq!(stats.violations_added, 0);
+    assert_eq!(stats.violations_retained, 1);
+    assert_eq!(v.violation_count(), 1);
+    assert_matches_full(&v, 1);
+
+    // Same for an attribute: delete and restore within one batch.
+    let batch: DeltaSet = vec![
+        Delta::DelAttr {
+            node: b,
+            attr: sym("p"),
+        },
+        Delta::SetAttr {
+            node: b,
+            attr: sym("p"),
+            value: Value::from(2),
+        },
+    ]
+    .into();
+    let stats = v.apply_all(&batch);
+    assert_eq!(stats.violations_removed, 0);
+    assert_eq!(stats.violations_added, 0);
+    assert_eq!(stats.violations_retained, 1);
+    assert_matches_full(&v, 2);
+
+    // An odd number of toggles really does remove the witness.
+    let batch: DeltaSet = vec![
+        Delta::RemoveEdge {
+            src: a,
+            label: sym("e"),
+            dst: b,
+        },
+        Delta::AddEdge {
+            src: a,
+            label: sym("e"),
+            dst: b,
+        },
+        Delta::RemoveEdge {
+            src: a,
+            label: sym("e"),
+            dst: b,
+        },
+    ]
+    .into();
+    let stats = v.apply_all(&batch);
+    assert_eq!(stats.violations_removed, 1);
+    assert_eq!(stats.violations_retained, 0);
+    assert!(v.is_satisfied());
+    assert_matches_full(&v, 3);
+}
+
+#[test]
+fn incremental_equals_full_with_wildcard_rules() {
+    // Wildcard node and edge labels: every node matches, every edge
+    // matches — the widest affected areas the matcher can produce.
+    let (g, _) = workload(60, 0, 46);
+    let mut q = Pattern::new();
+    let x = q.var("x", "_");
+    let y = q.var("y", "_");
+    q.edge(x, "_", y);
+    let wild_edge = Ged::new(
+        "wild-agree",
+        q,
+        vec![],
+        vec![Literal::vars(x, sym("attr0"), y, sym("attr0"))],
+    );
+    let mut q = Pattern::new();
+    let x = q.var("x", "_");
+    let y = q.var("y", "_");
+    let wild_key = Ged::new(
+        "wild-key",
+        q,
+        vec![Literal::vars(x, sym("key"), y, sym("key"))],
+        vec![Literal::id(x, y)],
+    );
+    let v = IncrementalValidator::with_threads(g, vec![wild_edge, wild_key], 2);
+    drive(v, 100, 9, 1);
 }
 
 #[test]
