@@ -4,9 +4,11 @@
 //!
 //! Run with `cargo run -p ged-bench --release --bin experiments`.
 //! Any arguments act as section filters matched against the experiment
-//! ids (e.g. `-- EXP-INC` runs only the incremental section); EXP-INC
-//! additionally writes its rows to `BENCH_INC.json` so the incremental
-//! perf trajectory is machine-readable across PRs.
+//! ids (e.g. `-- EXP-INC` runs the incremental sections: EXP-INC proper
+//! plus the EXP-INC-GDC / EXP-INC-DISJ constraint-family sections of the
+//! unified layer); every incremental row that ran is written to
+//! `BENCH_INC.json` at the end so the incremental perf trajectory is
+//! machine-readable across PRs.
 
 use ged_bench::{attr_burst, chain_implication, timed, timed_median, us, validation_workload};
 use ged_core::axiom::completeness::prove;
@@ -54,6 +56,8 @@ fn main() {
         ("EXP-ABL", exp_abl_match),
         ("EXP-PAR", exp_parallel),
         ("EXP-INC", exp_inc),
+        ("EXP-INC-GDC", exp_inc_gdc),
+        ("EXP-INC-DISJ", exp_inc_disj),
     ];
     let filters: Vec<String> = std::env::args().skip(1).collect();
     let mut ran = 0;
@@ -63,6 +67,8 @@ fn main() {
             ran += 1;
         }
     }
+
+    write_bench_inc_json();
 
     println!();
     if ran == sections.len() {
@@ -689,83 +695,122 @@ fn exp_abl_match() {
     }
 }
 
-/// EXP-INC — incremental maintenance vs full revalidation on all four
-/// datagen workloads, with the rows also written to `BENCH_INC.json` so
-/// the perf trajectory can be tracked machine-readably across PRs.
-fn exp_inc() {
-    use ged_engine::IncrementalValidator;
-    use ged_graph::{Delta, Graph};
+/// One measured incremental-vs-full row, accumulated across the EXP-INC*
+/// sections and flushed to `BENCH_INC.json` at the end of the run.
+struct IncRow {
+    class: &'static str,
+    workload: &'static str,
+    delta_size: usize,
+    incremental_us: f64,
+    full_us: f64,
+    speedup: f64,
+}
 
-    header(
-        "EXP-INC",
-        "incremental vs full revalidation under small deltas (all four workloads)",
+/// Rows collected by whichever EXP-INC* sections the filters selected.
+static INC_ROWS: std::sync::Mutex<Vec<IncRow>> = std::sync::Mutex::new(Vec::new());
+
+/// Run one incremental-vs-full comparison for any constraint family of
+/// the unified layer and record its row. Generic over `C: Constraint` —
+/// the GED, GDC, and GED∨ sections all go through this single runner.
+fn run_inc_row<C: ged_core::constraint::Constraint + Clone>(
+    class: &'static str,
+    name: &'static str,
+    graph: ged_graph::Graph,
+    sigma: Vec<C>,
+    deltas: Vec<ged_graph::Delta>,
+) {
+    use ged_engine::IncrementalValidator;
+    // Seeding (the one-off full pass) and the per-repetition clones
+    // happen outside the timed windows: the claim under test is the
+    // per-update cost, not clone throughput.
+    let seeded = IncrementalValidator::new(graph.clone(), sigma.clone());
+    let median3 = |f: &mut dyn FnMut() -> (usize, std::time::Duration)| {
+        let mut reps: Vec<(usize, std::time::Duration)> = (0..3).map(|_| f()).collect();
+        reps.sort_by_key(|&(_, d)| d);
+        reps[1]
+    };
+    let (inc_violations, d_inc) = median3(&mut || {
+        let mut v = seeded.clone();
+        let t0 = std::time::Instant::now();
+        for d in &deltas {
+            v.apply(d);
+        }
+        (v.violation_count(), t0.elapsed())
+    });
+    let (full_violations, d_full) = median3(&mut || {
+        let mut g = graph.clone();
+        let t0 = std::time::Instant::now();
+        let mut total = 0;
+        for d in &deltas {
+            g.apply_delta(d);
+            total = validate(&g, &sigma, None).total_violations();
+        }
+        (total, t0.elapsed())
+    });
+    assert_eq!(
+        inc_violations, full_violations,
+        "incremental equals full after the burst on {name}"
     );
+    let speedup = d_full.as_secs_f64() / d_inc.as_secs_f64().max(1e-12);
+    println!(
+        "{:<12} {:>7} | {:>14} {:>14} | {:>8.1}x",
+        name,
+        deltas.len(),
+        us(d_inc),
+        us(d_full),
+        speedup
+    );
+    INC_ROWS.lock().unwrap().push(IncRow {
+        class,
+        workload: name,
+        delta_size: deltas.len(),
+        incremental_us: d_inc.as_secs_f64() * 1e6,
+        full_us: d_full.as_secs_f64() * 1e6,
+        speedup,
+    });
+}
+
+fn inc_table_header() {
     println!(
         "{:<12} {:>7} | {:>14} {:>14} | {:>9}",
         "workload", "deltas", "incremental µs", "full µs", "speedup"
     );
+}
 
-    struct IncRow {
-        workload: &'static str,
-        delta_size: usize,
-        incremental_us: f64,
-        full_us: f64,
-        speedup: f64,
-    }
-    let mut rows: Vec<IncRow> = Vec::new();
-    let mut run = |name: &'static str, graph: Graph, sigma: Vec<Ged>, deltas: Vec<Delta>| {
-        // Seeding (the one-off full pass) and the per-repetition clones
-        // happen outside the timed windows: the claim under test is the
-        // per-update cost, not clone throughput.
-        let seeded = IncrementalValidator::new(graph.clone(), sigma.clone());
-        let median3 = |f: &mut dyn FnMut() -> (usize, std::time::Duration)| {
-            let mut reps: Vec<(usize, std::time::Duration)> = (0..3).map(|_| f()).collect();
-            reps.sort_by_key(|&(_, d)| d);
-            reps[1]
-        };
-        let (inc_violations, d_inc) = median3(&mut || {
-            let mut v = seeded.clone();
-            let t0 = std::time::Instant::now();
-            for d in &deltas {
-                v.apply(d);
-            }
-            (v.violation_count(), t0.elapsed())
-        });
-        let (full_violations, d_full) = median3(&mut || {
-            let mut g = graph.clone();
-            let t0 = std::time::Instant::now();
-            let mut total = 0;
-            for d in &deltas {
-                g.apply_delta(d);
-                total = validate(&g, &sigma, None).total_violations();
-            }
-            (total, t0.elapsed())
-        });
-        assert_eq!(
-            inc_violations, full_violations,
-            "incremental equals full after the burst on {name}"
-        );
-        let speedup = d_full.as_secs_f64() / d_inc.as_secs_f64().max(1e-12);
-        println!(
-            "{:<12} {:>7} | {:>14} {:>14} | {:>8.1}x",
-            name,
-            deltas.len(),
-            us(d_inc),
-            us(d_full),
-            speedup
-        );
-        rows.push(IncRow {
-            workload: name,
-            delta_size: deltas.len(),
-            incremental_us: d_inc.as_secs_f64() * 1e6,
-            full_us: d_full.as_secs_f64() * 1e6,
-            speedup,
-        });
-    };
+/// A deterministic burst of numeric attribute writes over the nodes of
+/// one label — the dense-order counterpart of [`attr_burst`], for the
+/// GDC/GED∨ workloads whose rules compare numbers.
+fn numeric_burst(
+    g: &ged_graph::Graph,
+    label: &str,
+    attr: ged_graph::Symbol,
+    n_deltas: usize,
+    modulo: i64,
+) -> Vec<ged_graph::Delta> {
+    let nodes = g.nodes_with_label(sym(label));
+    assert!(!nodes.is_empty(), "no {label}-labelled nodes to burst");
+    (0..n_deltas)
+        .map(|i| ged_graph::Delta::SetAttr {
+            node: nodes[(i * 97) % nodes.len()],
+            attr,
+            value: Value::from((i as i64 * 7) % modulo),
+        })
+        .collect()
+}
+
+/// EXP-INC — incremental maintenance vs full revalidation on all four
+/// plain-GED datagen workloads; the rows land in `BENCH_INC.json` so the
+/// perf trajectory can be tracked machine-readably across PRs.
+fn exp_inc() {
+    header(
+        "EXP-INC",
+        "incremental vs full revalidation under small deltas (all four workloads)",
+    );
+    inc_table_header();
 
     let w = validation_workload(1_000, 3, 2, 7);
     let deltas = attr_burst(&w.graph, sym("key"), 10, 25);
-    run("random-1k", w.graph, w.sigma, deltas);
+    run_inc_row("ged", "random-1k", w.graph, w.sigma, deltas);
 
     let scfg = SocialConfig {
         n_honest: 150,
@@ -773,7 +818,8 @@ fn exp_inc() {
     };
     let sinst = gen_social(&scfg);
     let deltas = attr_burst(&sinst.graph, sym("keyword"), 10, 8);
-    run(
+    run_inc_row(
+        "ged",
         "social",
         sinst.graph,
         vec![rules::phi5(scfg.k, &scfg.keyword)],
@@ -787,22 +833,79 @@ fn exp_inc() {
     };
     let minst = gen_music(&mcfg);
     let deltas = attr_burst(&minst.graph, sym("title"), 10, 12);
-    run("music", minst.graph, rules::music_keys(), deltas);
+    run_inc_row("ged", "music", minst.graph, rules::music_keys(), deltas);
 
     let cinst = ColoringInstance::random(7, 4, 9);
     let (cgraph, cged) = validation_gfdx(&cinst);
     let deltas = attr_burst(&cgraph, sym("A"), 10, 3);
-    run("coloring", cgraph, vec![cged], deltas);
+    run_inc_row("ged", "coloring", cgraph, vec![cged], deltas);
+}
 
-    // Hand-rolled JSON (the workspace is offline; no serde) — one object
-    // per workload row, schema kept flat for easy diffing across PRs.
+/// EXP-INC-GDC — the same incremental-vs-full comparison over the GDC
+/// workloads (dense-order age/price predicates, §7.1), served by the same
+/// generic engine.
+fn exp_inc_gdc() {
+    use ged_datagen::gdc::{kb_gdcs, social_gdcs};
+
+    header(
+        "EXP-INC-GDC",
+        "incremental vs full revalidation, GDC sigmas (dense-order predicates)",
+    );
+    inc_table_header();
+
+    let scfg = SocialConfig {
+        n_honest: 150,
+        ..Default::default()
+    };
+    let w = social_gdcs(&scfg, 5, 71);
+    let deltas = numeric_burst(&w.graph, "account", sym("age"), 10, 30);
+    run_inc_row("gdc", "gdc-social", w.graph, w.sigma, deltas);
+
+    let w = kb_gdcs(&KbConfig::default(), 5, 72);
+    let deltas = numeric_burst(&w.graph, "product", sym("discount"), 10, 130);
+    run_inc_row("gdc", "gdc-kb", w.graph, w.sigma, deltas);
+}
+
+/// EXP-INC-DISJ — the same incremental-vs-full comparison over the GED∨
+/// workloads (multi-disjunct domain rules, §7.2), served by the same
+/// generic engine.
+fn exp_inc_disj() {
+    use ged_datagen::disj::{kb_disj, social_disj};
+
+    header(
+        "EXP-INC-DISJ",
+        "incremental vs full revalidation, GED∨ sigmas (disjunctive conclusions)",
+    );
+    inc_table_header();
+
+    let scfg = SocialConfig {
+        n_honest: 150,
+        ..Default::default()
+    };
+    let w = social_disj(&scfg, 3, 2, 73);
+    let deltas = numeric_burst(&w.graph, "account", sym("suspended"), 10, 2);
+    run_inc_row("disj", "disj-social", w.graph, w.sigma, deltas);
+
+    let w = kb_disj(&KbConfig::default(), 4, 74);
+    let deltas = numeric_burst(&w.graph, "product", sym("visibility"), 10, 5);
+    run_inc_row("disj", "disj-kb", w.graph, w.sigma, deltas);
+}
+
+/// Flush every EXP-INC* row that ran to `BENCH_INC.json`. Hand-rolled
+/// JSON (the workspace is offline; no serde) — one object per workload
+/// row, schema kept flat for easy diffing across PRs.
+fn write_bench_inc_json() {
+    let rows = INC_ROWS.lock().unwrap();
+    if rows.is_empty() {
+        return;
+    }
     let json_rows: Vec<String> = rows
         .iter()
         .map(|r| {
             format!(
-                "    {{\"workload\": \"{}\", \"delta_size\": {}, \"incremental_us\": {:.1}, \
-                 \"full_us\": {:.1}, \"speedup\": {:.2}}}",
-                r.workload, r.delta_size, r.incremental_us, r.full_us, r.speedup
+                "    {{\"class\": \"{}\", \"workload\": \"{}\", \"delta_size\": {}, \
+                 \"incremental_us\": {:.1}, \"full_us\": {:.1}, \"speedup\": {:.2}}}",
+                r.class, r.workload, r.delta_size, r.incremental_us, r.full_us, r.speedup
             )
         })
         .collect();
@@ -811,8 +914,8 @@ fn exp_inc() {
         json_rows.join(",\n")
     );
     match std::fs::write("BENCH_INC.json", &json) {
-        Ok(()) => println!("wrote BENCH_INC.json ({} rows)", rows.len()),
-        Err(e) => println!("could not write BENCH_INC.json: {e}"),
+        Ok(()) => println!("\nwrote BENCH_INC.json ({} rows)", rows.len()),
+        Err(e) => println!("\ncould not write BENCH_INC.json: {e}"),
     }
 }
 

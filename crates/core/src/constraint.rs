@@ -1,0 +1,212 @@
+//! The unified constraint layer: one abstraction behind every validation
+//! engine in the workspace.
+//!
+//! A [`Constraint`] is anything of the paper's shape `Q[x̄](X → Y)`: a
+//! topological pattern plus a per-match check that says whether a given
+//! match violates the dependency — and, if so, *how* (a [`ViolationKind`]).
+//! Plain GEDs implement it here; `ged-ext` implements it for GDCs
+//! (built-in predicates, Section 7.1) and GED∨ (disjunctive conclusions,
+//! Section 7.2) by routing all three through the same normalized
+//! premises-plus-conclusion-options evaluation.
+//!
+//! Everything downstream is generic over `C: Constraint`: the from-scratch
+//! enumerators in [`satisfy`](crate::satisfy), the validation reports in
+//! [`reason`](crate::reason), and — crucially — the incremental,
+//! output-sensitive, parallel delta path in `ged-engine`. The engine's hot
+//! loops only ever need the pattern (to enumerate candidate matches) and
+//! the check (to classify each one), so the affected-area machinery built
+//! for GEDs serves every constraint family for the price of one.
+
+use crate::ged::Ged;
+use crate::literal::Literal;
+use crate::satisfy::check_violation;
+use ged_graph::{Graph, NodeId};
+use ged_pattern::Pattern;
+use std::fmt;
+
+/// Why a match violates a constraint — the per-witness payload the stores
+/// and reports carry. The variants mirror the three constraint families:
+/// conjunctive GED conclusions keep their failed literals (so reports stay
+/// as informative as before the constraint layer), predicate (GDC)
+/// conclusions record which conclusion positions failed, and a disjunctive
+/// conclusion is violated exactly when *every* disjunct fails — there is
+/// no sub-witness to name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Conjunctive conclusions: the literals that failed under the match
+    /// (plain GEDs).
+    Conclusions(Vec<Literal>),
+    /// Predicate conclusions: indices (into the constraint's conclusion
+    /// list) of the literals that failed (GDCs).
+    Predicates(Vec<usize>),
+    /// Every disjunct of a disjunctive conclusion failed (GED∨, and
+    /// normalized constraints with conclusion options).
+    Disjunction,
+}
+
+impl ViolationKind {
+    /// The failed conclusion literals, when the constraint family records
+    /// them ([`ViolationKind::Conclusions`]); empty for the others.
+    pub fn literals(&self) -> &[Literal] {
+        match self {
+            ViolationKind::Conclusions(ls) => ls,
+            _ => &[],
+        }
+    }
+
+    /// A violation must name *something* that failed: non-empty literal or
+    /// index lists for the conjunctive/predicate forms (`Disjunction`
+    /// already asserts all disjuncts failed). The stores debug-assert this.
+    pub fn is_witnessed(&self) -> bool {
+        match self {
+            ViolationKind::Conclusions(ls) => !ls.is_empty(),
+            ViolationKind::Predicates(is) => !is.is_empty(),
+            ViolationKind::Disjunction => true,
+        }
+    }
+}
+
+/// The GED path's payload: failed conjunctive conclusion literals.
+impl From<Vec<Literal>> for ViolationKind {
+    fn from(failed: Vec<Literal>) -> ViolationKind {
+        ViolationKind::Conclusions(failed)
+    }
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationKind::Conclusions(ls) => {
+                write!(f, "{} conclusion literal(s) failed", ls.len())
+            }
+            ViolationKind::Predicates(is) => {
+                write!(f, "{} predicate conclusion(s) failed", is.len())
+            }
+            ViolationKind::Disjunction => f.write_str("all disjuncts failed"),
+        }
+    }
+}
+
+/// A dependency of the shape `Q[x̄](X → Y)` that the generic validation
+/// engines can serve: a pattern to enumerate matches of, and a per-match
+/// check. Implemented by [`Ged`] here and by `Gdc`, `DisjGed`, and
+/// `NormConstraint` in `ged-ext`.
+///
+/// The affected-area boundary argument of the incremental engine
+/// (`ged-engine`, DESIGN.md §4) holds for *any* implementation that obeys
+/// the contract below, which is why the delta path needs no per-family
+/// code:
+///
+/// * `check` must depend only on (a) the ids of the matched nodes and
+///   (b) the attributes of the matched nodes — never on nodes outside the
+///   match image or on global graph state;
+/// * `pattern` must be the constraint's entire topological requirement:
+///   a match is any homomorphism of `pattern()` into `G`.
+pub trait Constraint: Send + Sync {
+    /// Human-readable name used in reports.
+    fn name(&self) -> &str;
+
+    /// The topological constraint `Q[x̄]` whose matches are checked.
+    fn pattern(&self) -> &Pattern;
+
+    /// Does match `m` (one node per pattern variable) violate the
+    /// constraint? `Some(kind)` describes the failure; `None` means the
+    /// implication `X → Y` holds at `m`.
+    fn check(&self, g: &Graph, m: &[NodeId]) -> Option<ViolationKind>;
+
+    /// Total size `|φ| = |Q| + |X| + |Y|` — the measure of the paper's
+    /// complexity bounds.
+    fn size(&self) -> usize;
+}
+
+impl Constraint for Ged {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    fn check(&self, g: &Graph, m: &[NodeId]) -> Option<ViolationKind> {
+        check_violation(g, m, self).map(ViolationKind::Conclusions)
+    }
+
+    fn size(&self) -> usize {
+        Ged::size(self)
+    }
+}
+
+/// `|Σ|` for a mixed-or-uniform constraint set (sum of member sizes) —
+/// the generic counterpart of [`crate::ged::sigma_size`].
+pub fn constraint_sigma_size<C: Constraint>(sigma: &[C]) -> usize {
+    sigma.iter().map(Constraint::size).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ged_graph::{sym, GraphBuilder};
+    use ged_pattern::{parse_pattern, Var};
+
+    fn phi1() -> Ged {
+        let q = parse_pattern("person(x) -[create]-> product(y)").unwrap();
+        Ged::new(
+            "φ1",
+            q,
+            vec![Literal::constant(Var(1), sym("type"), "video game")],
+            vec![Literal::constant(Var(0), sym("type"), "programmer")],
+        )
+    }
+
+    #[test]
+    fn ged_implements_the_constraint_trait() {
+        let g = phi1();
+        assert_eq!(Constraint::name(&g), "φ1");
+        assert_eq!(Constraint::size(&g), Ged::size(&g));
+        assert_eq!(Constraint::pattern(&g).var_count(), 2);
+    }
+
+    #[test]
+    fn check_agrees_with_check_violation() {
+        let mut b = GraphBuilder::new();
+        b.triple(("tony", "person"), "create", ("gb", "product"));
+        b.attr("tony", "type", "psychologist");
+        b.attr("gb", "type", "video game");
+        let (graph, names) = b.build_with_names();
+        let m = vec![names["tony"], names["gb"]];
+        let ged = phi1();
+        let kind = ged.check(&graph, &m).expect("the match violates φ1");
+        assert_eq!(
+            kind,
+            ViolationKind::Conclusions(check_violation(&graph, &m, &ged).unwrap())
+        );
+        assert!(kind.is_witnessed());
+        assert_eq!(kind.literals().len(), 1);
+    }
+
+    #[test]
+    fn kind_witness_rules() {
+        assert!(!ViolationKind::Conclusions(vec![]).is_witnessed());
+        assert!(!ViolationKind::Predicates(vec![]).is_witnessed());
+        assert!(ViolationKind::Predicates(vec![0]).is_witnessed());
+        assert!(ViolationKind::Disjunction.is_witnessed());
+        assert!(ViolationKind::Disjunction.literals().is_empty());
+    }
+
+    #[test]
+    fn sigma_size_sums_members() {
+        let sigma = vec![phi1(), phi1()];
+        assert_eq!(constraint_sigma_size(&sigma), 2 * Ged::size(&phi1()));
+    }
+
+    #[test]
+    fn display_kinds() {
+        let k = ViolationKind::Conclusions(vec![Literal::id(Var(0), Var(0))]);
+        assert!(k.to_string().contains("conclusion"));
+        assert!(ViolationKind::Predicates(vec![1])
+            .to_string()
+            .contains("predicate"));
+        assert!(ViolationKind::Disjunction.to_string().contains("disjunct"));
+    }
+}

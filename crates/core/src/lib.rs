@@ -32,6 +32,7 @@
 
 pub mod axiom;
 pub mod chase;
+pub mod constraint;
 pub mod ged;
 pub mod literal;
 pub mod reason;
@@ -39,6 +40,7 @@ pub mod relational;
 pub mod satisfy;
 
 pub use chase::{chase, chase_from, chase_random, ChaseResult, ChaseStats, Conflict, EqRel};
+pub use constraint::{constraint_sigma_size, Constraint, ViolationKind};
 pub use ged::{sigma_size, Ged, GedClass};
 pub use literal::Literal;
 pub use reason::{build_model, implies, is_satisfiable, validate, ValidationReport};

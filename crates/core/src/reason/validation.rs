@@ -7,14 +7,16 @@
 //! violations with witnesses; [`Validator`] adds the bounded-size fast-path
 //! bookkeeping used by the frontier experiment (EXP-T1-FRONTIER).
 
+use crate::constraint::Constraint;
 use crate::ged::Ged;
 use crate::satisfy::{violations, Violation};
 use ged_graph::Graph;
 
-/// Per-GED validation outcome.
+/// Per-constraint validation outcome (`GedReport` predates the unified
+/// constraint layer; one is produced per member of Σ whatever the family).
 #[derive(Debug, Clone)]
 pub struct GedReport {
-    /// The GED's name.
+    /// The constraint's name.
     pub name: String,
     /// Number of violations found (subject to the limit).
     pub violation_count: usize,
@@ -52,16 +54,21 @@ impl ValidationReport {
     }
 }
 
-/// Validate `G` against Σ, collecting up to `limit_per_ged` witnesses per
-/// GED (`None` = all). With `limit_per_ged = Some(1)` this is the pure
-/// decision procedure.
-pub fn validate(g: &Graph, sigma: &[Ged], limit_per_ged: Option<usize>) -> ValidationReport {
+/// Validate `G` against Σ — any constraint family of the unified layer —
+/// collecting up to `limit_per_ged` witnesses per constraint (`None` =
+/// all). With `limit_per_ged = Some(1)` this is the pure decision
+/// procedure.
+pub fn validate<C: Constraint>(
+    g: &Graph,
+    sigma: &[C],
+    limit_per_ged: Option<usize>,
+) -> ValidationReport {
     let mut per_ged = Vec::with_capacity(sigma.len());
     let mut all = Vec::new();
-    for ged in sigma {
-        let vs = violations(g, ged, limit_per_ged);
+    for c in sigma {
+        let vs = violations(g, c, limit_per_ged);
         per_ged.push(GedReport {
-            name: ged.name.clone(),
+            name: c.name().to_string(),
             violation_count: vs.len(),
             satisfied: vs.is_empty(),
         });
@@ -220,6 +227,6 @@ mod tests {
     #[test]
     fn empty_sigma_always_validates() {
         let g = dirty_kb();
-        assert!(validate(&g, &[], None).satisfied());
+        assert!(validate::<Ged>(&g, &[], None).satisfied());
     }
 }

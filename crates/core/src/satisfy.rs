@@ -13,7 +13,24 @@
 //! trivially, while a missing attribute in `Y` is a violation. That is what
 //! lets `Q[x](∅ → x.A = x.A)` force every `τ`-entity to carry an `A`
 //! attribute.
+//!
+//! The module is split in two layers, and the split is what makes the
+//! whole engine stack generic (the unified constraint layer,
+//! [`crate::constraint`]):
+//!
+//! * the **match-enumeration loop** — [`violations`], [`satisfies`],
+//!   [`satisfies_all`], [`is_model`] — is generic over any
+//!   `C:`[`Constraint`]: it walks the matches of `C::pattern` and asks
+//!   `C::check` about each one;
+//! * the **literal-checking loop** for plain GEDs — [`literal_holds`],
+//!   [`literals_hold`], [`check_violation`] — is what `Ged`'s `Constraint`
+//!   implementation plugs into that enumeration.
+//!
+//! GDCs and GED∨s plug their own checks in from `ged-ext` and get the same
+//! enumerators (and the incremental/parallel engines of `ged-engine`,
+//! which share this structure) without any new matching code.
 
+use crate::constraint::{Constraint, ViolationKind};
 use crate::ged::Ged;
 use crate::literal::Literal;
 use ged_graph::{Graph, NodeId};
@@ -44,15 +61,25 @@ pub fn literals_hold(g: &Graph, m: &[NodeId], lits: &[Literal]) -> bool {
     lits.iter().all(|l| literal_holds(g, m, l))
 }
 
-/// A witnessed violation of a GED: a match that satisfies `X` but not `Y`.
+/// A witnessed violation of a constraint: a match that satisfies `X` but
+/// not `Y`.
 #[derive(Debug, Clone)]
 pub struct Violation {
-    /// Name of the violated GED.
+    /// Name of the violated constraint (`ged_name` predates the unified
+    /// constraint layer; it holds whatever [`Constraint::name`] returns).
     pub ged_name: String,
     /// The offending match `h(x̄)`.
     pub assignment: Match,
-    /// The conclusion literals that failed under this match.
-    pub failed: Vec<Literal>,
+    /// How the conclusion failed.
+    pub kind: ViolationKind,
+}
+
+impl Violation {
+    /// The failed conclusion literals, when the constraint family records
+    /// them (plain GEDs); empty for predicate/disjunctive conclusions.
+    pub fn failed(&self) -> &[Literal] {
+        self.kind.literals()
+    }
 }
 
 /// The single-match violation check shared by [`violations`], the
@@ -76,18 +103,24 @@ pub fn check_violation(g: &Graph, m: &[NodeId], ged: &Ged) -> Option<Vec<Literal
     }
 }
 
-/// Enumerate violations of `ged` in `g`, stopping after `limit` if given.
-/// This is the NP-witness search of Theorem 6's `G ⊭ Σ` algorithm: guess a
-/// match, check `⊨ X` and `⊭ Y`.
-pub fn violations(g: &Graph, ged: &Ged, limit: Option<usize>) -> Vec<Violation> {
+/// Enumerate violations of constraint `c` in `g`, stopping after `limit`
+/// if given. This is the NP-witness search of Theorem 6's `G ⊭ Σ`
+/// algorithm — guess a match, check `⊨ X` and `⊭ Y` — and it is the
+/// match-enumeration loop every constraint family shares: the per-family
+/// literal semantics live entirely inside [`Constraint::check`].
+pub fn violations<C: Constraint + ?Sized>(
+    g: &Graph,
+    c: &C,
+    limit: Option<usize>,
+) -> Vec<Violation> {
     let mut out = Vec::new();
-    let matcher = Matcher::new(&ged.pattern, g, MatchOptions::homomorphism());
+    let matcher = Matcher::new(c.pattern(), g, MatchOptions::homomorphism());
     matcher.for_each(|m| {
-        if let Some(failed) = check_violation(g, m, ged) {
+        if let Some(kind) = c.check(g, m) {
             out.push(Violation {
-                ged_name: ged.name.clone(),
+                ged_name: c.name().to_string(),
                 assignment: m.to_vec(),
-                failed,
+                kind,
             });
             if let Some(k) = limit {
                 if out.len() >= k {
@@ -101,25 +134,25 @@ pub fn violations(g: &Graph, ged: &Ged, limit: Option<usize>) -> Vec<Violation> 
 }
 
 /// `G ⊨ φ`: no violating match exists.
-pub fn satisfies(g: &Graph, ged: &Ged) -> bool {
-    violations(g, ged, Some(1)).is_empty()
+pub fn satisfies<C: Constraint + ?Sized>(g: &Graph, c: &C) -> bool {
+    violations(g, c, Some(1)).is_empty()
 }
 
-/// `G ⊨ Σ`: every GED in Σ is satisfied.
-pub fn satisfies_all(g: &Graph, sigma: &[Ged]) -> bool {
-    sigma.iter().all(|ged| satisfies(g, ged))
+/// `G ⊨ Σ`: every constraint in Σ is satisfied.
+pub fn satisfies_all<C: Constraint>(g: &Graph, sigma: &[C]) -> bool {
+    sigma.iter().all(|c| satisfies(g, c))
 }
 
-/// Does pattern `Q` of `ged` have at least one match in `g`? (Part (b) of
+/// Does pattern `Q` of `c` have at least one match in `g`? (Part (b) of
 /// the *model* definition in Section 5.1 — the strong satisfiability
 /// notion requires every pattern to be embeddable.)
-pub fn pattern_embeds(g: &Graph, ged: &Ged) -> bool {
-    ged_pattern::exists(&ged.pattern, g, MatchOptions::homomorphism())
+pub fn pattern_embeds<C: Constraint + ?Sized>(g: &Graph, c: &C) -> bool {
+    ged_pattern::exists(c.pattern(), g, MatchOptions::homomorphism())
 }
 
 /// Is `g` a **model** of Σ (Section 5.1): `g ⊨ Σ`, `g` nonempty, and every
 /// pattern of Σ has a match in `g`?
-pub fn is_model(g: &Graph, sigma: &[Ged]) -> bool {
+pub fn is_model<C: Constraint>(g: &Graph, sigma: &[C]) -> bool {
     g.node_count() > 0 && sigma.iter().all(|d| pattern_embeds(g, d)) && satisfies_all(g, sigma)
 }
 
@@ -158,7 +191,7 @@ mod tests {
         let vs = violations(&g, &phi1(), None);
         assert_eq!(vs.len(), 1);
         assert_eq!(vs[0].ged_name, "φ1");
-        assert_eq!(vs[0].failed.len(), 1);
+        assert_eq!(vs[0].failed().len(), 1);
         assert!(!satisfies(&g, &phi1()));
     }
 
@@ -345,6 +378,6 @@ mod tests {
         assert!(satisfies(&g, &d));
         assert!(!is_model(&g, &[d]));
         // Empty graph is never a model.
-        assert!(!is_model(&Graph::new(), &[]));
+        assert!(!is_model::<Ged>(&Graph::new(), &[]));
     }
 }

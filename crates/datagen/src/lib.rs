@@ -10,6 +10,10 @@
 //! * [`music`] — album/artist duplicates resolvable only by the recursive
 //!   keys ψ1–ψ3 (Example 1(3));
 //! * [`random`] — random graphs / patterns / GED sets for scaling;
+//! * [`gdc`] — GDC workloads (§7.1): age/price dense-order predicates over
+//!   the social and kb graphs, with planted violations;
+//! * [`disj`] — GED∨ workloads (§7.2): multi-disjunct domain and
+//!   conditional rules over the same graphs, with planted violations;
 //! * [`coloring`] — 3-colorability reductions behind Theorems 3, 5, 6,
 //!   cross-validated against a brute-force oracle.
 
@@ -17,6 +21,8 @@
 #![forbid(unsafe_code)]
 
 pub mod coloring;
+pub mod disj;
+pub mod gdc;
 pub mod kb;
 pub mod music;
 pub mod random;

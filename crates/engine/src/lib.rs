@@ -5,13 +5,20 @@
 //! reasoning problem a deployed system faces on *every* update. This crate
 //! supplies the production answer in two layers:
 //!
+//! Both layers are **generic over the unified constraint layer**
+//! (`ged_core::constraint::Constraint`): the same code serves plain GEDs,
+//! GDCs with built-in predicates, and GED∨ with disjunctive conclusions —
+//! the engine only ever needs a constraint's pattern (to enumerate
+//! candidate matches) and its per-match check (to classify them).
+//!
 //! * [`par`] — parallel *from-scratch* validation: rule-level sharding
-//!   (the GEDs of Σ validate independently) and match-level sharding (the
-//!   match space of one GED partitions by the image of a pivot variable),
-//!   promoted here from the old bench-local helper;
+//!   (the constraints of Σ validate independently) and match-level
+//!   sharding (the match space of one constraint partitions by the image
+//!   of a pivot variable), promoted here from the old bench-local helper;
 //! * [`IncrementalValidator`] — **delta-driven violation maintenance**: it
 //!   owns the graph and a persistent [`ViolationStore`] keyed by
-//!   (GED, witness match), ingests [`Delta`]s / batched [`DeltaSet`]s, and
+//!   (constraint, witness match), ingests [`Delta`]s / batched
+//!   [`DeltaSet`]s, and
 //!   after each update recomputes only the *affected area* — matches whose
 //!   image intersects the nodes the delta touched — instead of re-running
 //!   full validation. The delta path is output-sensitive end to end: the

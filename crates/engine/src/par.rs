@@ -17,42 +17,43 @@
 //! fan-out.
 
 use crate::validator::run_sharded;
-use ged_core::ged::Ged;
+use ged_core::constraint::Constraint;
 use ged_core::reason::{GedReport, ValidationReport};
-use ged_core::satisfy::{check_violation, violations, Violation};
+use ged_core::satisfy::{violations, Violation};
 use ged_graph::Graph;
 use ged_pattern::{MatchOptions, Matcher, Var};
 use std::ops::ControlFlow;
 
 /// Validate Σ by sharding the *rules* across `threads` workers. Returns
-/// per-GED violation counts (bounded by `limit` per GED), in Σ order.
-pub fn validate_rules_parallel(
+/// per-constraint violation counts (bounded by `limit` each), in Σ order.
+/// Generic over the constraint family (GEDs, GDCs, GED∨s, …).
+pub fn validate_rules_parallel<C: Constraint>(
     g: &Graph,
-    sigma: &[Ged],
+    sigma: &[C],
     threads: usize,
     limit: Option<usize>,
 ) -> Vec<usize> {
-    run_sharded(threads, sigma, |ged| violations(g, ged, limit).len())
+    run_sharded(threads, sigma, |c| violations(g, c, limit).len())
 }
 
 /// Full parallel validation: rule-level sharding producing the exact
 /// [`ValidationReport`] of the sequential [`validate`], witnesses included
-/// and in the same order.
+/// and in the same order. Generic over the constraint family.
 ///
 /// [`validate`]: ged_core::reason::validate
-pub fn validate_parallel(
+pub fn validate_parallel<C: Constraint>(
     g: &Graph,
-    sigma: &[Ged],
+    sigma: &[C],
     threads: usize,
     limit_per_ged: Option<usize>,
 ) -> ValidationReport {
-    let per_ged_violations: Vec<Vec<Violation>> =
-        run_sharded(threads, sigma, |ged| violations(g, ged, limit_per_ged));
+    let per_constraint: Vec<Vec<Violation>> =
+        run_sharded(threads, sigma, |c| violations(g, c, limit_per_ged));
     let mut per_ged = Vec::with_capacity(sigma.len());
     let mut all = Vec::new();
-    for (ged, vs) in sigma.iter().zip(per_ged_violations) {
+    for (c, vs) in sigma.iter().zip(per_constraint) {
         per_ged.push(GedReport {
-            name: ged.name.clone(),
+            name: c.name().to_string(),
             violation_count: vs.len(),
             satisfied: vs.is_empty(),
         });
@@ -64,23 +65,23 @@ pub fn validate_parallel(
     }
 }
 
-/// Validate a single GED by sharding the *match space*: the candidate
-/// nodes of a pivot variable are split across `threads` workers, each
-/// enumerating only the matches whose pivot falls in its shard.
+/// Validate a single constraint by sharding the *match space*: the
+/// candidate nodes of a pivot variable are split across `threads` workers,
+/// each enumerating only the matches whose pivot falls in its shard.
 /// Returns all violations (order may differ from sequential enumeration;
 /// the set is identical).
-pub fn violations_sharded(g: &Graph, ged: &Ged, threads: usize) -> Vec<Violation> {
+pub fn violations_sharded<C: Constraint>(g: &Graph, c: &C, threads: usize) -> Vec<Violation> {
     assert!(threads >= 1);
-    if ged.pattern.var_count() == 0 {
-        return violations(g, ged, None);
+    let pattern = c.pattern();
+    if pattern.var_count() == 0 {
+        return violations(g, c, None);
     }
     // Pivot on the variable with the fewest candidates (most selective).
-    let pivot = ged
-        .pattern
+    let pivot = pattern
         .vars()
-        .min_by_key(|&v| g.label_candidates(ged.pattern.label(v)).len())
+        .min_by_key(|&v| g.label_candidates(pattern.label(v)).len())
         .unwrap_or(Var(0));
-    let candidates = g.label_candidates(ged.pattern.label(pivot));
+    let candidates = g.label_candidates(pattern.label(pivot));
     if candidates.is_empty() {
         return Vec::new();
     }
@@ -92,13 +93,13 @@ pub fn violations_sharded(g: &Graph, ged: &Ged, threads: usize) -> Vec<Violation
             .map(|shard| {
                 s.spawn(move || {
                     let mut out = Vec::new();
-                    let matcher = Matcher::new(&ged.pattern, g, MatchOptions::homomorphism());
+                    let matcher = Matcher::new(pattern, g, MatchOptions::homomorphism());
                     matcher.for_each_anchored(pivot, shard, |m| {
-                        if let Some(failed) = check_violation(g, m, ged) {
+                        if let Some(kind) = c.check(g, m) {
                             out.push(Violation {
-                                ged_name: ged.name.clone(),
+                                ged_name: c.name().to_string(),
                                 assignment: m.to_vec(),
-                                failed,
+                                kind,
                             });
                         }
                         ControlFlow::Continue(())
@@ -117,6 +118,7 @@ pub fn violations_sharded(g: &Graph, ged: &Ged, threads: usize) -> Vec<Violation
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ged_core::ged::Ged;
     use ged_datagen::random::{plant_key_violations, random_graph, RandomGraphConfig};
     use std::collections::HashSet;
 

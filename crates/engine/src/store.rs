@@ -1,41 +1,46 @@
 //! The persistent violation store: every currently-violating witness match,
-//! keyed by (GED index, match), maintained across deltas.
+//! keyed by (constraint index, match), maintained across deltas.
 //!
 //! Witnesses live in a slab of slots; two indexes point into it: the
-//! per-GED map `h(x̄) → slot` (the store's identity key) and the **inverted
-//! index** `NodeId → {slots whose image contains the node}`. The inverted
-//! index is what makes [`ViolationStore::drop_intersecting`] — the engine's
-//! per-update prune — proportional to the *affected* witnesses instead of
-//! the whole store, the property the output-sensitive delta path needs.
+//! per-constraint map `h(x̄) → slot` (the store's identity key) and the
+//! **inverted index** `NodeId → {slots whose image contains the node}`.
+//! The inverted index is what makes [`ViolationStore::drop_intersecting`]
+//! — the engine's per-update prune — proportional to the *affected*
+//! witnesses instead of the whole store, the property the
+//! output-sensitive delta path needs.
+//!
+//! The store is family-agnostic: a slot records *how* the conclusion
+//! failed as a [`ViolationKind`], so the same structure serves plain GEDs,
+//! GDCs, and GED∨s — anything implementing [`Constraint`].
 
-use ged_core::ged::Ged;
-use ged_core::literal::Literal;
+use ged_core::constraint::{Constraint, ViolationKind};
 use ged_core::reason::{GedReport, ValidationReport};
 use ged_core::satisfy::Violation;
 use ged_graph::NodeId;
 use ged_pattern::Match;
 use std::collections::{HashMap, HashSet};
 
-/// One stored witness: which GED it violates, the match, and the failed
-/// conclusion literals.
+/// One stored witness: which constraint it violates, the match, and how
+/// the conclusion failed.
 #[derive(Debug, Clone)]
 struct Slot {
-    ged: usize,
+    constraint: usize,
     assignment: Match,
-    failed: Vec<Literal>,
+    kind: ViolationKind,
 }
 
-/// All violations of `G ⊨ Σ`, indexed per GED and keyed by the witness
-/// match `h(x̄)`. The store is the engine's materialised view: after every
-/// delta it is *exactly* the violation set a from-scratch [`validate`]
-/// (with no limit) would produce — the invariant the randomized
-/// incremental-vs-full tests assert.
+/// All violations of `G ⊨ Σ`, indexed per constraint and keyed by the
+/// witness match `h(x̄)`. The store is the engine's materialised view:
+/// after every delta it is *exactly* the violation set a from-scratch
+/// [`validate`] (with no limit) would produce — the invariant the
+/// randomized incremental-vs-full tests assert, for every constraint
+/// family of the unified layer.
 ///
 /// [`validate`]: ged_core::reason::validate
 #[derive(Debug, Clone, Default)]
 pub struct ViolationStore {
-    /// Witness → slot, one map per GED of Σ.
-    per_ged: Vec<HashMap<Match, usize>>,
+    /// Witness → slot, one map per constraint of Σ.
+    per_constraint: Vec<HashMap<Match, usize>>,
     /// The slab; `None` marks a freed slot awaiting reuse.
     slots: Vec<Option<Slot>>,
     /// Free slot ids.
@@ -45,13 +50,14 @@ pub struct ViolationStore {
 }
 
 impl ViolationStore {
-    /// An empty store sized for the rule set Σ. Constructing from Σ itself
-    /// (rather than a bare count) keeps the store coupled to the rules it
-    /// indexes — a mismatch used to surface later as an opaque
-    /// out-of-bounds in [`insert`](ViolationStore::insert).
-    pub fn for_sigma(sigma: &[Ged]) -> ViolationStore {
+    /// An empty store sized for the rule set Σ — any slice of
+    /// [`Constraint`]s. Constructing from Σ itself (rather than a bare
+    /// count) keeps the store coupled to the rules it indexes — a mismatch
+    /// used to surface later as an opaque out-of-bounds in
+    /// [`insert`](ViolationStore::insert).
+    pub fn for_sigma<C: Constraint>(sigma: &[C]) -> ViolationStore {
         ViolationStore {
-            per_ged: (0..sigma.len()).map(|_| HashMap::new()).collect(),
+            per_constraint: (0..sigma.len()).map(|_| HashMap::new()).collect(),
             slots: Vec::new(),
             free: Vec::new(),
             by_node: HashMap::new(),
@@ -59,32 +65,35 @@ impl ViolationStore {
     }
 
     #[track_caller]
-    fn check_ged(&self, ged: usize) {
+    fn check_index(&self, ci: usize) {
         assert!(
-            ged < self.per_ged.len(),
-            "GED index {ged} out of range: this store was built for {} dependencies — \
+            ci < self.per_constraint.len(),
+            "constraint index {ci} out of range: this store was built for {} constraints — \
              construct it with ViolationStore::for_sigma over the same Σ you validate",
-            self.per_ged.len()
+            self.per_constraint.len()
         );
     }
 
-    /// Record (or overwrite) the failed conclusion literals of one witness.
+    /// Record (or overwrite) how one witness violates constraint `ci`.
     /// Returns `true` if the witness is new, `false` if it only refreshed
-    /// an already-stored one.
-    pub fn insert(&mut self, ged: usize, assignment: Match, failed: Vec<Literal>) -> bool {
-        self.check_ged(ged);
-        debug_assert!(!failed.is_empty(), "a violation needs failed literals");
-        if let Some(&slot) = self.per_ged[ged].get(&assignment) {
+    /// an already-stored one. Accepts anything convertible to a
+    /// [`ViolationKind`] (a plain `Vec<Literal>` of failed conclusions
+    /// keeps the pre-constraint-layer call shape working).
+    pub fn insert(&mut self, ci: usize, assignment: Match, kind: impl Into<ViolationKind>) -> bool {
+        self.check_index(ci);
+        let kind = kind.into();
+        debug_assert!(kind.is_witnessed(), "a violation needs a failed witness");
+        if let Some(&slot) = self.per_constraint[ci].get(&assignment) {
             self.slots[slot]
                 .as_mut()
                 .expect("indexed slot is live")
-                .failed = failed;
+                .kind = kind;
             return false;
         }
         let slot = Slot {
-            ged,
+            constraint: ci,
             assignment: assignment.clone(),
-            failed,
+            kind,
         };
         let id = match self.free.pop() {
             Some(id) => {
@@ -101,13 +110,13 @@ impl ViolationStore {
         for &n in &assignment {
             self.by_node.entry(n).or_default().insert(id);
         }
-        self.per_ged[ged].insert(assignment, id);
+        self.per_constraint[ci].insert(assignment, id);
         true
     }
 
     /// Free `slot`, unregistering it from the inverted index. Does *not*
-    /// touch `per_ged` — callers that still hold the map entry remove it
-    /// themselves.
+    /// touch `per_constraint` — callers that still hold the map entry
+    /// remove it themselves.
     fn release(&mut self, id: usize) -> Slot {
         let slot = self.slots[id].take().expect("released slot is live");
         for &n in &slot.assignment {
@@ -123,9 +132,9 @@ impl ViolationStore {
     }
 
     /// Forget one witness. Returns `true` if it was present.
-    pub fn remove(&mut self, ged: usize, assignment: &[NodeId]) -> bool {
-        self.check_ged(ged);
-        match self.per_ged[ged].remove(assignment) {
+    pub fn remove(&mut self, ci: usize, assignment: &[NodeId]) -> bool {
+        self.check_index(ci);
+        match self.per_constraint[ci].remove(assignment) {
             Some(id) => {
                 self.release(id);
                 true
@@ -135,23 +144,23 @@ impl ViolationStore {
     }
 
     /// Is this witness currently stored?
-    pub fn contains(&self, ged: usize, assignment: &[NodeId]) -> bool {
-        self.check_ged(ged);
-        self.per_ged[ged].contains_key(assignment)
+    pub fn contains(&self, ci: usize, assignment: &[NodeId]) -> bool {
+        self.check_index(ci);
+        self.per_constraint[ci].contains_key(assignment)
     }
 
-    /// Number of GEDs the store tracks.
-    pub fn ged_count(&self) -> usize {
-        self.per_ged.len()
+    /// Number of constraints the store tracks.
+    pub fn constraint_count(&self) -> usize {
+        self.per_constraint.len()
     }
 
-    /// Violations currently recorded for one GED.
-    pub fn count_for(&self, ged: usize) -> usize {
-        self.check_ged(ged);
-        self.per_ged[ged].len()
+    /// Violations currently recorded for one constraint.
+    pub fn count_for(&self, ci: usize) -> usize {
+        self.check_index(ci);
+        self.per_constraint[ci].len()
     }
 
-    /// Total violations across all GEDs.
+    /// Total violations across all constraints.
     pub fn total(&self) -> usize {
         self.slots.len() - self.free.len()
     }
@@ -168,10 +177,10 @@ impl ViolationStore {
     }
 
     /// Drop every witness whose assignment intersects `touched`, returning
-    /// the dropped `(ged, assignment, failed)` entries (deterministically
-    /// ordered) — the pre-drop snapshot of the affected area, which the
-    /// validator uses to tell genuinely removed witnesses from ones the
-    /// re-enumeration immediately re-derives.
+    /// the dropped `(constraint, assignment, kind)` entries
+    /// (deterministically ordered) — the pre-drop snapshot of the affected
+    /// area, which the validator uses to tell genuinely removed witnesses
+    /// from ones the re-enumeration immediately re-derives.
     ///
     /// Called with the union of the deltas' footprints — *including*
     /// just-removed ids — before re-enumerating the affected area, so stale
@@ -184,7 +193,7 @@ impl ViolationStore {
     pub fn drop_intersecting(
         &mut self,
         touched: &HashSet<NodeId>,
-    ) -> Vec<(usize, Match, Vec<Literal>)> {
+    ) -> Vec<(usize, Match, ViolationKind)> {
         let mut hit: Vec<usize> = touched
             .iter()
             .filter_map(|n| self.by_node.get(n))
@@ -196,30 +205,33 @@ impl ViolationStore {
         let mut dropped = Vec::with_capacity(hit.len());
         for id in hit {
             let slot = self.release(id);
-            let unmapped = self.per_ged[slot.ged].remove(&slot.assignment);
+            let unmapped = self.per_constraint[slot.constraint].remove(&slot.assignment);
             debug_assert_eq!(unmapped, Some(id), "witness key maps to its slot");
-            dropped.push((slot.ged, slot.assignment, slot.failed));
+            dropped.push((slot.constraint, slot.assignment, slot.kind));
         }
         #[cfg(debug_assertions)]
         self.assert_consistent();
         dropped
     }
 
-    /// Cross-check the three structures (per-GED maps, slab, inverted
-    /// index) against each other, panicking on any inconsistency. Runs
-    /// automatically after [`drop_intersecting`] in debug builds; O(store),
-    /// so release builds never pay for it.
+    /// Cross-check the three structures (per-constraint maps, slab,
+    /// inverted index) against each other, panicking on any inconsistency.
+    /// Runs automatically after [`drop_intersecting`] in debug builds;
+    /// O(store), so release builds never pay for it.
     ///
     /// [`drop_intersecting`]: ViolationStore::drop_intersecting
     pub fn assert_consistent(&self) {
         let mut live = 0;
-        for (gi, map) in self.per_ged.iter().enumerate() {
+        for (ci, map) in self.per_constraint.iter().enumerate() {
             for (m, &id) in map {
                 live += 1;
                 let slot = self.slots[id]
                     .as_ref()
                     .unwrap_or_else(|| panic!("witness {m:?} maps to freed slot {id}"));
-                assert_eq!(slot.ged, gi, "slot {id} filed under the wrong GED");
+                assert_eq!(
+                    slot.constraint, ci,
+                    "slot {id} filed under the wrong constraint"
+                );
                 assert_eq!(&slot.assignment, m, "slot {id} key mismatch");
                 for n in m {
                     assert!(
@@ -245,14 +257,14 @@ impl ViolationStore {
     }
 
     /// Render the store as a [`ValidationReport`] in Σ order, with the
-    /// witnesses of each GED sorted by assignment for determinism.
-    pub fn to_report(&self, sigma: &[Ged]) -> ValidationReport {
+    /// witnesses of each constraint sorted by assignment for determinism.
+    pub fn to_report<C: Constraint>(&self, sigma: &[C]) -> ValidationReport {
         let mut per_ged = Vec::with_capacity(sigma.len());
         let mut violations = Vec::with_capacity(self.total());
-        for (gi, ged) in sigma.iter().enumerate() {
-            let map = &self.per_ged[gi];
+        for (ci, c) in sigma.iter().enumerate() {
+            let map = &self.per_constraint[ci];
             per_ged.push(GedReport {
-                name: ged.name.clone(),
+                name: c.name().to_string(),
                 violation_count: map.len(),
                 satisfied: map.is_empty(),
             });
@@ -260,12 +272,12 @@ impl ViolationStore {
             entries.sort_by(|a, b| a.0.cmp(b.0));
             violations.extend(entries.into_iter().map(|(m, id)| {
                 Violation {
-                    ged_name: ged.name.clone(),
+                    ged_name: c.name().to_string(),
                     assignment: m.clone(),
-                    failed: self.slots[id]
+                    kind: self.slots[id]
                         .as_ref()
                         .expect("indexed slot is live")
-                        .failed
+                        .kind
                         .clone(),
                 }
             }));
@@ -276,26 +288,28 @@ impl ViolationStore {
         }
     }
 
-    /// Iterate over `(ged index, assignment, failed literals)`.
-    pub fn iter(&self) -> impl Iterator<Item = (usize, &Match, &Vec<Literal>)> + '_ {
-        self.per_ged.iter().enumerate().flat_map(move |(gi, map)| {
-            map.iter().map(move |(m, &id)| {
-                (
-                    gi,
-                    m,
-                    &self.slots[id]
-                        .as_ref()
-                        .expect("indexed slot is live")
-                        .failed,
-                )
+    /// Iterate over `(constraint index, assignment, violation kind)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Match, &ViolationKind)> + '_ {
+        self.per_constraint
+            .iter()
+            .enumerate()
+            .flat_map(move |(ci, map)| {
+                map.iter().map(move |(m, &id)| {
+                    (
+                        ci,
+                        m,
+                        &self.slots[id].as_ref().expect("indexed slot is live").kind,
+                    )
+                })
             })
-        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ged_core::ged::Ged;
+    use ged_core::literal::Literal;
     use ged_graph::sym;
     use ged_pattern::{parse_pattern, Var};
 
@@ -331,6 +345,7 @@ mod tests {
         assert!(s.insert(1, vec![NodeId(2)], vec![Literal::id(Var(0), Var(0))]));
         assert_eq!(s.total(), 2);
         assert_eq!(s.count_for(0), 1);
+        assert_eq!(s.constraint_count(), 2);
         assert!(!s.is_empty());
         assert!(s.contains(0, &[NodeId(0), NodeId(1)]));
         assert!(s.remove(0, &[NodeId(0), NodeId(1)]));
@@ -351,14 +366,38 @@ mod tests {
         );
         assert_eq!(s.total(), 1);
         assert_eq!(s.count_at(NodeId(0)), 1);
-        let failed = s.iter().next().unwrap().2.clone();
-        assert_eq!(failed, vec![Literal::id(Var(1), Var(0))]);
+        let kind = s.iter().next().unwrap().2.clone();
+        assert_eq!(kind.literals(), &[Literal::id(Var(1), Var(0))]);
+        s.assert_consistent();
+    }
+
+    /// The store is family-agnostic: predicate and disjunction kinds are
+    /// stored, iterated, and reported exactly like failed-literal kinds.
+    #[test]
+    fn non_ged_violation_kinds_round_trip() {
+        let mut s = ViolationStore::for_sigma(&two_rule_sigma());
+        s.insert(
+            0,
+            vec![NodeId(0), NodeId(1)],
+            ViolationKind::Predicates(vec![0, 2]),
+        );
+        s.insert(1, vec![NodeId(2)], ViolationKind::Disjunction);
+        assert_eq!(s.total(), 2);
+        let kinds: Vec<ViolationKind> = s.iter().map(|(_, _, k)| k.clone()).collect();
+        assert!(kinds.contains(&ViolationKind::Predicates(vec![0, 2])));
+        assert!(kinds.contains(&ViolationKind::Disjunction));
+        let report = s.to_report(&two_rule_sigma());
+        assert_eq!(report.total_violations(), 2);
+        assert!(
+            report.violations.iter().all(|v| v.failed().is_empty()),
+            "non-GED kinds carry no literals"
+        );
         s.assert_consistent();
     }
 
     #[test]
-    #[should_panic(expected = "built for 2 dependencies")]
-    fn out_of_range_ged_panics_with_a_clear_message() {
+    #[should_panic(expected = "built for 2 constraints")]
+    fn out_of_range_constraint_panics_with_a_clear_message() {
         let mut s = ViolationStore::for_sigma(&two_rule_sigma());
         s.insert(2, vec![NodeId(0)], vec![Literal::id(Var(0), Var(0))]);
     }

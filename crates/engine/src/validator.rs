@@ -38,10 +38,9 @@
 //! the same sharding [`par`](crate::par) uses for full validation.
 
 use crate::store::ViolationStore;
-use ged_core::ged::Ged;
-use ged_core::literal::Literal;
+use ged_core::constraint::{Constraint, ViolationKind};
 use ged_core::reason::ValidationReport;
-use ged_core::satisfy::{check_violation, violations};
+use ged_core::satisfy::violations;
 use ged_graph::{Delta, DeltaEffect, DeltaSet, Graph, NodeId};
 use ged_pattern::{Match, MatchOptions, Matcher};
 use std::collections::HashSet;
@@ -74,7 +73,9 @@ pub struct ApplyStats {
     pub created: Vec<NodeId>,
 }
 
-/// Maintains the violation set of `G ⊨ Σ` under a stream of updates.
+/// Maintains the violation set of `G ⊨ Σ` under a stream of updates, for
+/// any constraint family of the unified layer (`C` = `Ged`, `Gdc`,
+/// `DisjGed`, …).
 ///
 /// Owns the graph (updates must flow through the validator so the store
 /// stays consistent) and a [`ViolationStore`] that after every call equals
@@ -82,17 +83,17 @@ pub struct ApplyStats {
 ///
 /// [`validate`]: ged_core::reason::validate
 #[derive(Debug, Clone)]
-pub struct IncrementalValidator {
+pub struct IncrementalValidator<C: Constraint> {
     graph: Graph,
-    sigma: Vec<Ged>,
+    sigma: Vec<C>,
     store: ViolationStore,
     threads: usize,
 }
 
-impl IncrementalValidator {
+impl<C: Constraint> IncrementalValidator<C> {
     /// Build a validator, seeding the store with a full validation pass
     /// (parallel across rules). Uses all available cores.
-    pub fn new(graph: Graph, sigma: Vec<Ged>) -> IncrementalValidator {
+    pub fn new(graph: Graph, sigma: Vec<C>) -> IncrementalValidator<C> {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
@@ -101,18 +102,18 @@ impl IncrementalValidator {
 
     /// As [`IncrementalValidator::new`] with an explicit worker count
     /// (`1` = fully sequential).
-    pub fn with_threads(graph: Graph, sigma: Vec<Ged>, threads: usize) -> IncrementalValidator {
+    pub fn with_threads(graph: Graph, sigma: Vec<C>, threads: usize) -> IncrementalValidator<C> {
         assert!(threads >= 1);
         let mut store = ViolationStore::for_sigma(&sigma);
-        let per_ged: Vec<Vec<(Match, Vec<Literal>)>> = run_sharded(threads, &sigma, |ged| {
-            violations(&graph, ged, None)
+        let per_constraint: Vec<Vec<(Match, ViolationKind)>> = run_sharded(threads, &sigma, |c| {
+            violations(&graph, c, None)
                 .into_iter()
-                .map(|v| (v.assignment, v.failed))
+                .map(|v| (v.assignment, v.kind))
                 .collect()
         });
-        for (gi, vs) in per_ged.into_iter().enumerate() {
-            for (m, failed) in vs {
-                store.insert(gi, m, failed);
+        for (ci, vs) in per_constraint.into_iter().enumerate() {
+            for (m, kind) in vs {
+                store.insert(ci, m, kind);
             }
         }
         IncrementalValidator {
@@ -129,7 +130,7 @@ impl IncrementalValidator {
     }
 
     /// The rule set Σ.
-    pub fn sigma(&self) -> &[Ged] {
+    pub fn sigma(&self) -> &[C] {
         &self.sigma
     }
 
@@ -210,13 +211,13 @@ impl IncrementalValidator {
                 self.threads
             };
             let graph = &self.graph;
-            let per_ged: Vec<Vec<(Match, Vec<Literal>)>> =
-                run_sharded(threads, &self.sigma, |ged| {
-                    affected_violations(graph, ged, &touched)
+            let per_constraint: Vec<Vec<(Match, ViolationKind)>> =
+                run_sharded(threads, &self.sigma, |c| {
+                    affected_violations(graph, c, &touched)
                 });
-            for (gi, vs) in per_ged.into_iter().enumerate() {
-                for (m, failed) in vs {
-                    self.store.insert(gi, m, failed);
+            for (ci, vs) in per_constraint.into_iter().enumerate() {
+                for (m, kind) in vs {
+                    self.store.insert(ci, m, kind);
                 }
             }
         }
@@ -227,7 +228,7 @@ impl IncrementalValidator {
         // keys split exactly into retained (in the snapshot) and new.
         stats.violations_retained = dropped
             .iter()
-            .filter(|(gi, m, _)| self.store.contains(*gi, m))
+            .filter(|(ci, m, _)| self.store.contains(*ci, m))
             .count();
         stats.violations_removed = dropped.len() - stats.violations_retained;
         stats.violations_added = self.store.total() - pruned - stats.violations_retained;
@@ -240,29 +241,33 @@ impl IncrementalValidator {
     }
 }
 
-/// Enumerate the violating matches of `ged` whose image intersects
-/// `touched`, each exactly once. This is the affected area of a delta with
-/// touched set `touched`; see the module docs for why nothing outside it
-/// can change status.
+/// Enumerate the violating matches of constraint `c` whose image
+/// intersects `touched`, each exactly once. This is the affected area of a
+/// delta with touched set `touched`; see the module docs for why nothing
+/// outside it can change status — the argument only needs `c.check` to
+/// read the ids and attributes of matched nodes, which the [`Constraint`]
+/// contract guarantees for every family, so the exclusion-aware anchored
+/// delta path is shared rather than duplicated per family.
 ///
 /// Exactly-once discipline: the match whose *first* touched variable (in
 /// declaration order) is `v` is enumerated only when anchoring `v` —
 /// variables declared before `v` have the touched nodes *excluded* from
 /// their candidate domains, so every other anchoring prunes the match
 /// before it is ever completed. No match is enumerated and then discarded.
-fn affected_violations(
+fn affected_violations<C: Constraint>(
     g: &Graph,
-    ged: &Ged,
+    c: &C,
     touched: &HashSet<NodeId>,
-) -> Vec<(Match, Vec<Literal>)> {
+) -> Vec<(Match, ViolationKind)> {
     let mut out = Vec::new();
-    if ged.pattern.var_count() == 0 {
+    let pattern = c.pattern();
+    if pattern.var_count() == 0 {
         // The empty match has an empty image: never affected by deltas.
         return out;
     }
-    let matcher = Matcher::new(&ged.pattern, g, MatchOptions::homomorphism());
-    for v in ged.pattern.vars() {
-        let lv = ged.pattern.label(v);
+    let matcher = Matcher::new(pattern, g, MatchOptions::homomorphism());
+    for v in pattern.vars() {
+        let lv = pattern.label(v);
         let seeds: Vec<NodeId> = touched
             .iter()
             .copied()
@@ -277,12 +282,12 @@ fn affected_violations(
             &|u, n| u.idx() < v.idx() && touched.contains(&n),
             |m| {
                 debug_assert_eq!(
-                    ged.pattern.vars().find(|u| touched.contains(&m[u.idx()])),
+                    pattern.vars().find(|u| touched.contains(&m[u.idx()])),
                     Some(v),
                     "the anchor owns every match the exclusions let through"
                 );
-                if let Some(failed) = check_violation(g, m, ged) {
-                    out.push((m.to_vec(), failed));
+                if let Some(kind) = c.check(g, m) {
+                    out.push((m.to_vec(), kind));
                 }
                 ControlFlow::Continue(())
             },
@@ -291,18 +296,19 @@ fn affected_violations(
     out
 }
 
-/// Run `work` once per GED, sharding the rule list across `threads`
-/// workers; results come back in Σ order. The sequential path avoids any
-/// thread overhead for `threads == 1` or a single rule.
+/// Run `work` once per item, sharding the list across `threads` workers;
+/// results come back in input order. The items are the constraints of Σ in
+/// the engine's use, but nothing here depends on that. The sequential path
+/// avoids any thread overhead for `threads == 1` or a single item.
 ///
 /// If workers panic, every handle is joined first — so no shard's work is
 /// abandoned mid-join — and then the *first* panic payload is resumed, so
 /// the original worker message (not a generic join error) reaches the
 /// user.
-pub(crate) fn run_sharded<T: Send>(
+pub(crate) fn run_sharded<I: Sync, T: Send>(
     threads: usize,
-    sigma: &[Ged],
-    work: impl Fn(&Ged) -> T + Sync,
+    sigma: &[I],
+    work: impl Fn(&I) -> T + Sync,
 ) -> Vec<T> {
     assert!(threads >= 1);
     if threads == 1 || sigma.len() <= 1 {
@@ -358,6 +364,8 @@ pub(crate) fn join_all_propagating<T>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ged_core::ged::Ged;
+    use ged_core::literal::Literal;
     use ged_graph::{sym, Value};
     use ged_pattern::{parse_pattern, Var};
 
@@ -381,7 +389,7 @@ mod tests {
         g
     }
 
-    fn assert_consistent(v: &IncrementalValidator) {
+    fn assert_consistent<C: Constraint>(v: &IncrementalValidator<C>) {
         let full = ged_core::reason::validate(v.graph(), v.sigma(), None);
         let full_set: std::collections::BTreeSet<(String, Vec<NodeId>)> = full
             .violations
@@ -600,6 +608,130 @@ mod tests {
         });
         assert_eq!(stats, ApplyStats::default(), "same value: nothing to do");
         assert_eq!(v.violation_count(), count);
+    }
+
+    /// The generic delta path serves GDCs: a dense-order range constraint
+    /// is maintained through attribute writes exactly like a GED.
+    #[test]
+    fn gdc_sigma_is_maintained_incrementally() {
+        use ged_ext::{Gdc, GdcLiteral, Pred};
+        let q = parse_pattern("product(x)").unwrap();
+        let cap = Gdc::forbidding(
+            "rating≤5",
+            q,
+            vec![GdcLiteral::constant(Var(0), sym("rating"), Pred::Gt, 5)],
+        );
+        let mut g = Graph::new();
+        let p = g.add_node(sym("product"));
+        g.set_attr(p, sym("rating"), 4);
+        let mut v = IncrementalValidator::with_threads(g, vec![cap], 1);
+        assert!(v.is_satisfied());
+
+        let stats = v.apply(&Delta::SetAttr {
+            node: p,
+            attr: sym("rating"),
+            value: Value::from(9),
+        });
+        assert_eq!(stats.violations_added, 1);
+        assert!(!v.is_satisfied());
+        assert_consistent(&v);
+        let report = v.report();
+        assert_eq!(report.violations[0].ged_name, "rating≤5");
+        assert!(matches!(
+            report.violations[0].kind,
+            ged_core::constraint::ViolationKind::Predicates(_)
+        ));
+
+        let stats = v.apply(&Delta::SetAttr {
+            node: p,
+            attr: sym("rating"),
+            value: Value::from(5),
+        });
+        assert_eq!(stats.violations_removed, 1);
+        assert!(v.is_satisfied());
+        assert_consistent(&v);
+    }
+
+    /// The generic delta path serves GED∨: a domain constraint (violated
+    /// iff *every* disjunct fails) is maintained through deltas, including
+    /// node creation.
+    #[test]
+    fn disj_sigma_is_maintained_incrementally() {
+        use ged_ext::DisjGed;
+        let q = parse_pattern("τ(x)").unwrap();
+        let domain = DisjGed::new(
+            "A∈{0,1}",
+            q,
+            vec![],
+            vec![
+                Literal::constant(Var(0), sym("A"), 0),
+                Literal::constant(Var(0), sym("A"), 1),
+            ],
+        );
+        let mut v = IncrementalValidator::with_threads(Graph::new(), vec![domain], 1);
+        assert!(v.is_satisfied());
+
+        // A new τ-node has no A attribute: every disjunct fails.
+        let stats = v.apply(&Delta::AddNode { label: sym("τ") });
+        let n = stats.created[0];
+        assert_eq!(stats.violations_added, 1);
+        assert_eq!(
+            v.report().violations[0].kind,
+            ged_core::constraint::ViolationKind::Disjunction
+        );
+        assert_consistent(&v);
+
+        // Satisfying one disjunct repairs it; an out-of-domain value
+        // re-violates.
+        v.apply(&Delta::SetAttr {
+            node: n,
+            attr: sym("A"),
+            value: Value::from(1),
+        });
+        assert!(v.is_satisfied());
+        assert_consistent(&v);
+        v.apply(&Delta::SetAttr {
+            node: n,
+            attr: sym("A"),
+            value: Value::from(7),
+        });
+        assert_eq!(v.violation_count(), 1);
+        assert_consistent(&v);
+    }
+
+    /// One store shape serves all families: parallel full validation over
+    /// GDCs equals the sequential generic validate.
+    #[test]
+    fn parallel_validation_is_generic_over_gdcs() {
+        use ged_ext::{Gdc, GdcLiteral, Pred};
+        let q = parse_pattern("t(x)").unwrap();
+        let sigma: Vec<Gdc> = (0..4)
+            .map(|i| {
+                Gdc::new(
+                    format!("A≥{i}"),
+                    q.clone(),
+                    vec![],
+                    vec![GdcLiteral::constant(Var(0), sym("A"), Pred::Ge, i)],
+                )
+            })
+            .collect();
+        let mut g = Graph::new();
+        for val in 0..6 {
+            let n = g.add_node(sym("t"));
+            g.set_attr(n, sym("A"), val);
+        }
+        let seq = ged_core::reason::validate(&g, &sigma, None);
+        for threads in [1, 3] {
+            let par = crate::par::validate_parallel(&g, &sigma, threads, None);
+            assert_eq!(par.total_violations(), seq.total_violations());
+            assert_eq!(
+                crate::par::validate_rules_parallel(&g, &sigma, threads, None),
+                seq.per_ged
+                    .iter()
+                    .map(|r| r.violation_count)
+                    .collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]

@@ -8,12 +8,12 @@
 //! satisfiability/implication jump to Σᵖ₂ / Πᵖ₂ (Theorem 9) — see
 //! [`crate::reason`].
 
+use ged_core::constraint::{Constraint, ViolationKind};
 use ged_core::ged::Ged;
 use ged_core::literal::Literal;
 use ged_core::satisfy::literal_holds;
-use ged_graph::Graph;
-use ged_pattern::{Match, MatchOptions, Matcher, Pattern};
-use std::ops::ControlFlow;
+use ged_graph::{Graph, NodeId};
+use ged_pattern::{Match, Pattern};
 
 /// A disjunctive GED `Q[x̄](⋀X → ⋁Y)`.
 #[derive(Debug, Clone)]
@@ -68,6 +68,33 @@ impl DisjGed {
     }
 }
 
+/// GED∨s are first-class members of the unified constraint layer: the
+/// check is the normalised-options evaluation of
+/// [`crate::reason::NormConstraint`] with one single-literal option per
+/// disjunct — a disjunctive conclusion is violated iff *every* disjunct
+/// fails — so the generic from-scratch, parallel, and incremental engines
+/// all serve GED∨s unchanged.
+impl Constraint for DisjGed {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    fn check(&self, g: &Graph, m: &[NodeId]) -> Option<ViolationKind> {
+        let holds = |l: &Literal| literal_holds(g, m, l);
+        let options = self.conclusions.iter().map(std::slice::from_ref);
+        crate::reason::x_holds_and_all_options_fail(&self.premises, options, holds)
+            .then_some(ViolationKind::Disjunction)
+    }
+
+    fn size(&self) -> usize {
+        DisjGed::size(self)
+    }
+}
+
 /// A violating match: satisfies `X`, satisfies *no* literal of `Y`.
 #[derive(Debug, Clone)]
 pub struct DisjViolation {
@@ -77,36 +104,27 @@ pub struct DisjViolation {
     pub assignment: Match,
 }
 
-/// Enumerate violations of a GED∨ (validation: coNP-complete, Theorem 9).
+/// Enumerate violations of a GED∨ (validation: coNP-complete, Theorem 9) —
+/// a thin wrapper over the generic match-enumeration loop of
+/// `ged_core::satisfy`.
 pub fn disj_violations(g: &Graph, d: &DisjGed, limit: Option<usize>) -> Vec<DisjViolation> {
-    let mut out = Vec::new();
-    Matcher::new(&d.pattern, g, MatchOptions::homomorphism()).for_each(|m| {
-        let x_holds = d.premises.iter().all(|l| literal_holds(g, m, l));
-        let y_holds = d.conclusions.iter().any(|l| literal_holds(g, m, l));
-        if x_holds && !y_holds {
-            out.push(DisjViolation {
-                name: d.name.clone(),
-                assignment: m.to_vec(),
-            });
-            if let Some(k) = limit {
-                if out.len() >= k {
-                    return ControlFlow::Break(());
-                }
-            }
-        }
-        ControlFlow::Continue(())
-    });
-    out
+    ged_core::satisfy::violations(g, d, limit)
+        .into_iter()
+        .map(|v| DisjViolation {
+            name: v.ged_name,
+            assignment: v.assignment,
+        })
+        .collect()
 }
 
 /// `G ⊨ ψ` for a GED∨.
 pub fn disj_satisfies(g: &Graph, d: &DisjGed) -> bool {
-    disj_violations(g, d, Some(1)).is_empty()
+    ged_core::satisfy::satisfies(g, d)
 }
 
 /// `G ⊨ Σ` for a set of GED∨s.
 pub fn disj_satisfies_all(g: &Graph, sigma: &[DisjGed]) -> bool {
-    sigma.iter().all(|d| disj_satisfies(g, d))
+    ged_core::satisfy::satisfies_all(g, sigma)
 }
 
 #[cfg(test)]

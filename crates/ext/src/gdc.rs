@@ -9,12 +9,12 @@
 //! enumerate-matches engine as GEDs.
 
 use crate::predicate::Pred;
+use ged_core::constraint::{Constraint, ViolationKind};
 use ged_core::ged::Ged;
 use ged_core::literal::Literal;
 use ged_graph::{Graph, NodeId, Symbol, Value};
-use ged_pattern::{Match, MatchOptions, Matcher, Pattern, Var};
+use ged_pattern::{Match, Pattern, Var};
 use std::fmt;
-use std::ops::ControlFlow;
 
 /// A GDC literal.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -216,6 +216,46 @@ impl Gdc {
     }
 }
 
+/// GDCs are first-class members of the unified constraint layer. The
+/// semantics are the normalised evaluation of
+/// [`crate::reason::NormConstraint`] with the conjunctive conclusion as
+/// the single option — violated iff `X` holds and some conclusion literal
+/// fails — computed here in one pass that records the failing indices
+/// while testing them (this is the engines' per-match hot path), so the
+/// generic from-scratch, parallel, and incremental engines all serve GDCs
+/// unchanged.
+impl Constraint for Gdc {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    fn check(&self, g: &Graph, m: &[NodeId]) -> Option<ViolationKind> {
+        if !self.premises.iter().all(|l| l.holds(g, m)) {
+            return None;
+        }
+        let failed: Vec<usize> = self
+            .conclusions
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.holds(g, m))
+            .map(|(i, _)| i)
+            .collect();
+        if failed.is_empty() {
+            None
+        } else {
+            Some(ViolationKind::Predicates(failed))
+        }
+    }
+
+    fn size(&self) -> usize {
+        Gdc::size(self)
+    }
+}
+
 /// A violation witness.
 #[derive(Debug, Clone)]
 pub struct GdcViolation {
@@ -226,36 +266,26 @@ pub struct GdcViolation {
 }
 
 /// Enumerate violations of `gdc` in `g` (Theorem 8: validation is
-/// coNP-complete, same shape as GED validation).
+/// coNP-complete, same shape as GED validation) — a thin wrapper over the
+/// generic match-enumeration loop of `ged_core::satisfy`.
 pub fn gdc_violations(g: &Graph, gdc: &Gdc, limit: Option<usize>) -> Vec<GdcViolation> {
-    let mut out = Vec::new();
-    Matcher::new(&gdc.pattern, g, MatchOptions::homomorphism()).for_each(|m| {
-        if gdc.premises.iter().all(|l| l.holds(g, m))
-            && !gdc.conclusions.iter().all(|l| l.holds(g, m))
-        {
-            out.push(GdcViolation {
-                name: gdc.name.clone(),
-                assignment: m.to_vec(),
-            });
-            if let Some(k) = limit {
-                if out.len() >= k {
-                    return ControlFlow::Break(());
-                }
-            }
-        }
-        ControlFlow::Continue(())
-    });
-    out
+    ged_core::satisfy::violations(g, gdc, limit)
+        .into_iter()
+        .map(|v| GdcViolation {
+            name: v.ged_name,
+            assignment: v.assignment,
+        })
+        .collect()
 }
 
 /// `G ⊨ φ` for a GDC.
 pub fn gdc_satisfies(g: &Graph, gdc: &Gdc) -> bool {
-    gdc_violations(g, gdc, Some(1)).is_empty()
+    ged_core::satisfy::satisfies(g, gdc)
 }
 
 /// `G ⊨ Σ` for a set of GDCs.
 pub fn gdc_satisfies_all(g: &Graph, sigma: &[Gdc]) -> bool {
-    sigma.iter().all(|d| gdc_satisfies(g, d))
+    ged_core::satisfy::satisfies_all(g, sigma)
 }
 
 #[cfg(test)]

@@ -29,7 +29,7 @@ pub mod solver;
 pub use disj::{disj_satisfies, disj_satisfies_all, disj_violations, DisjGed, DisjViolation};
 pub use gdc::{gdc_satisfies, gdc_satisfies_all, gdc_violations, Gdc, GdcLiteral, GdcViolation};
 pub use predicate::Pred;
-pub use reason::{disj_implies, disj_satisfiable, gdc_implies, gdc_satisfiable};
+pub use reason::{disj_implies, disj_satisfiable, gdc_implies, gdc_satisfiable, NormConstraint};
 
 #[cfg(test)]
 mod proptests {

@@ -23,6 +23,7 @@
 use crate::disj::DisjGed;
 use crate::gdc::{Gdc, GdcLiteral};
 use crate::solver::{consistent, Constraint, Term};
+use ged_core::constraint::{Constraint as ConstraintDep, ViolationKind};
 use ged_graph::{Graph, NodeId, Symbol};
 use ged_pattern::{MatchOptions, Matcher, Pattern};
 use std::collections::BTreeSet;
@@ -33,6 +34,8 @@ use std::ops::ControlFlow;
 /// option set = `false`).
 #[derive(Debug, Clone)]
 pub struct NormConstraint {
+    /// Name for reports (inherited from the constraint it normalises).
+    pub name: String,
     /// The pattern.
     pub pattern: Pattern,
     /// Premise literals (conjunctive).
@@ -45,6 +48,7 @@ impl NormConstraint {
     /// From a GDC (single conjunctive option).
     pub fn from_gdc(g: &Gdc) -> NormConstraint {
         NormConstraint {
+            name: g.name.clone(),
             pattern: g.pattern.clone(),
             premises: g.premises.clone(),
             options: vec![g.conclusions.clone()],
@@ -54,6 +58,7 @@ impl NormConstraint {
     /// From a GED∨ (one option per disjunct).
     pub fn from_disj(d: &DisjGed) -> NormConstraint {
         NormConstraint {
+            name: d.name.clone(),
             pattern: d.pattern.clone(),
             premises: d.premises.iter().map(GdcLiteral::from_ged).collect(),
             options: d
@@ -62,6 +67,45 @@ impl NormConstraint {
                 .map(|l| vec![GdcLiteral::from_ged(l)])
                 .collect(),
         }
+    }
+}
+
+/// The normalised violation test shared by every constraint family of the
+/// unified layer: a match violates `X → opt₁ ∨ opt₂ ∨ …` iff all premises
+/// hold and **every** conclusion option has a failing literal. A GDC is
+/// the single-option case (its conjunctive `Y`); a GED∨ contributes one
+/// single-literal option per disjunct, so a disjunctive conclusion is
+/// violated iff *every* disjunct fails; an empty option set is `false`.
+/// `holds` carries the per-family literal semantics.
+pub(crate) fn x_holds_and_all_options_fail<'a, L: 'a>(
+    premises: &[L],
+    mut options: impl Iterator<Item = &'a [L]>,
+    mut holds: impl FnMut(&L) -> bool,
+) -> bool {
+    premises.iter().all(&mut holds) && !options.any(|opt| opt.iter().all(&mut holds))
+}
+
+/// Normalised constraints plug straight into the generic engines: the
+/// check is the shared [`x_holds_and_all_options_fail`] evaluation over
+/// the options.
+impl ConstraintDep for NormConstraint {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    fn check(&self, g: &Graph, m: &[NodeId]) -> Option<ViolationKind> {
+        let holds = |l: &GdcLiteral| l.holds(g, m);
+        let options = self.options.iter().map(Vec::as_slice);
+        x_holds_and_all_options_fail(&self.premises, options, holds)
+            .then_some(ViolationKind::Disjunction)
+    }
+
+    fn size(&self) -> usize {
+        self.pattern.size() + self.premises.len() + self.options.iter().map(Vec::len).sum::<usize>()
     }
 }
 

@@ -380,9 +380,17 @@ pub fn find_first(pattern: &Pattern, graph: &Graph, opts: MatchOptions) -> Optio
     out
 }
 
-/// Does any match exist?
+/// Does any match exist? Breaks out of the backtracking search at the
+/// first complete match without materialising it (unlike [`find_first`],
+/// which must clone the match to return it) — this sits on the hot path
+/// of model checks (`pattern_embeds`) over every constraint of Σ.
 pub fn exists(pattern: &Pattern, graph: &Graph, opts: MatchOptions) -> bool {
-    find_first(pattern, graph, opts).is_some()
+    let mut found = false;
+    Matcher::new(pattern, graph, opts).for_each(|_| {
+        found = true;
+        ControlFlow::Break(())
+    });
+    found
 }
 
 /// Count all matches (enumerates them all — exponential in the worst case).

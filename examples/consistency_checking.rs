@@ -68,7 +68,7 @@ fn main() {
             println!(
                 "  {name}: match {:?}, failed literals: {}",
                 nodes,
-                v.failed.len()
+                v.failed().len()
             );
         }
     }

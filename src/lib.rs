@@ -18,14 +18,15 @@ pub use ged_ext as ext;
 pub use ged_graph as graph;
 pub use ged_pattern as pattern;
 
-/// Everything needed to define graphs, patterns and GEDs and run the
-/// reasoning procedures.
+/// Everything needed to define graphs, patterns and constraints (GEDs,
+/// GDCs, GED∨s) and run the reasoning procedures.
 pub mod prelude {
     pub use ged_core::axiom::completeness::prove;
     pub use ged_core::axiom::derived::{
         prove_augmentation, prove_reflexivity, prove_transitivity, ProofBuilder,
     };
     pub use ged_core::chase::{chase, chase_from, chase_random, ChaseResult};
+    pub use ged_core::constraint::{constraint_sigma_size, Constraint, ViolationKind};
     pub use ged_core::ged::{Ged, GedClass};
     pub use ged_core::literal::Literal;
     pub use ged_core::reason::{
@@ -38,7 +39,7 @@ pub mod prelude {
     };
     pub use ged_ext::{
         disj_implies, disj_satisfiable, disj_satisfies, gdc_implies, gdc_satisfiable,
-        gdc_satisfies, DisjGed, Gdc, GdcLiteral, Pred,
+        gdc_satisfies, DisjGed, Gdc, GdcLiteral, NormConstraint, Pred,
     };
     pub use ged_graph::{
         sym, Delta, DeltaEffect, DeltaSet, Graph, GraphBuilder, NodeId, Symbol, Value,
