@@ -14,6 +14,8 @@
 //!   the social and kb graphs, with planted violations;
 //! * [`disj`] — GED∨ workloads (§7.2): multi-disjunct domain and
 //!   conditional rules over the same graphs, with planted violations;
+//! * [`mixed`] — heterogeneous-Σ workloads: GED + GDC + GED∨ in one
+//!   `Vec<AnyConstraint>`, with planted violations per family;
 //! * [`coloring`] — 3-colorability reductions behind Theorems 3, 5, 6,
 //!   cross-validated against a brute-force oracle.
 
@@ -24,6 +26,7 @@ pub mod coloring;
 pub mod disj;
 pub mod gdc;
 pub mod kb;
+pub mod mixed;
 pub mod music;
 pub mod random;
 pub mod rules;

@@ -1,0 +1,170 @@
+//! Mixed-family Σ workloads: one heterogeneous rule set holding plain
+//! GEDs, a dense-order GDC, and a disjunctive GED∨ — wrapped in
+//! [`AnyConstraint`] so a single `IncrementalValidator<AnyConstraint>`
+//! (or any generic engine) serves all of them at once, with a controlled
+//! number of planted violations per family.
+//!
+//! Every rule's pattern is O(|V| + |E|) to enumerate (single-variable or
+//! edge-bound), so the workload scales to the 10k-node acceptance runs
+//! that revalidate from scratch at every step.
+
+use crate::social::SocialConfig;
+use ged_core::constraint::AnyConstraint;
+use ged_core::ged::Ged;
+use ged_core::literal::Literal;
+use ged_ext::{DisjGed, Gdc, GdcLiteral, Pred};
+use ged_graph::{sym, Graph};
+use ged_pattern::{parse_pattern, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A mixed-family workload: a decorated graph, its heterogeneous rule
+/// set, and the number of violations planted by construction.
+#[derive(Debug)]
+pub struct MixedWorkload {
+    /// The graph.
+    pub graph: Graph,
+    /// The heterogeneous rule set (GED + GDC + GED∨, one `Vec`).
+    pub sigma: Vec<AnyConstraint>,
+    /// Violating witnesses planted by construction (`plants` per rule,
+    /// four rules: `4 * plants` total).
+    pub planted: usize,
+}
+
+/// The social-network mixed workload. Four rules, one `Vec<AnyConstraint>`:
+///
+/// * **GED** `verified⇒real`: `account(x)(x.verified = 1 → x.is_fake = 0)`
+///   — conjunctive conclusion, [`Conclusions`] violation kind;
+/// * **GED** `no-self-follow`:
+///   `account(x) -[follow]-> account(y)(x.id = y.id → false)` — an
+///   edge-bound forbidding rule tripped only by `follow` self-loops;
+/// * **GDC** `age≥13`: `account(x)(x.age < 13 → false)` — dense-order
+///   predicate, [`Predicates`] kind;
+/// * **GED∨** `tier-domain`: `account(x)(∅ → x.tier = free ∨ pro ∨ biz)`
+///   — finite domain, [`Disjunction`] kind.
+///
+/// `plants` violations are planted per rule on *disjoint* account slices
+/// (`planted = 4 * plants`): verified bots, `follow` self-loops, underage
+/// ages, and an out-of-domain `gold` tier. All other accounts get clean
+/// values for every decorated attribute.
+///
+/// [`Conclusions`]: ged_core::constraint::ViolationKind::Conclusions
+/// [`Predicates`]: ged_core::constraint::ViolationKind::Predicates
+/// [`Disjunction`]: ged_core::constraint::ViolationKind::Disjunction
+pub fn social_mixed(cfg: &SocialConfig, plants: usize, seed: u64) -> MixedWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut graph = crate::social::generate(cfg).graph;
+    let accounts: Vec<_> = graph.nodes_with_label(sym("account")).to_vec();
+    assert!(
+        4 * plants <= accounts.len(),
+        "cannot plant {} violations across {} accounts",
+        4 * plants,
+        accounts.len()
+    );
+    let (verified, is_fake) = (sym("verified"), sym("is_fake"));
+    let (age, tier, follow) = (sym("age"), sym("tier"), sym("follow"));
+    const DOMAIN: [&str; 3] = ["free", "pro", "biz"];
+    for (i, &a) in accounts.iter().enumerate() {
+        // Slice 0: verified yet fake — violates the conjunctive GED.
+        if i < plants {
+            graph.set_attr(a, verified, 1);
+            graph.set_attr(a, is_fake, 1);
+        } else {
+            graph.set_attr(a, verified, 0);
+        }
+        // Slice 1: a `follow` self-loop — violates the edge-bound GED.
+        if (plants..2 * plants).contains(&i) {
+            graph.add_edge(a, follow, a);
+        }
+        // Slice 2: underage — violates the dense-order GDC.
+        let years: i64 = if (2 * plants..3 * plants).contains(&i) {
+            rng.random_range(6..13)
+        } else {
+            rng.random_range(18..71)
+        };
+        graph.set_attr(a, age, years);
+        // Slice 3: out-of-domain tier — fails every GED∨ disjunct.
+        if (3 * plants..4 * plants).contains(&i) {
+            graph.set_attr(a, tier, "gold");
+        } else {
+            graph.set_attr(a, tier, DOMAIN[rng.random_range(0..DOMAIN.len())]);
+        }
+    }
+    let node = parse_pattern("account(x)").unwrap();
+    let edge = parse_pattern("account(x) -[follow]-> account(y)").unwrap();
+    let x = Var(0);
+    let sigma: Vec<AnyConstraint> = vec![
+        Ged::new(
+            "verified⇒real",
+            node.clone(),
+            vec![Literal::constant(x, verified, 1)],
+            vec![Literal::constant(x, is_fake, 0)],
+        )
+        .into(),
+        Ged::forbidding("no-self-follow", edge, vec![Literal::id(Var(0), Var(1))]).into(),
+        Gdc::forbidding(
+            "age≥13",
+            node.clone(),
+            vec![GdcLiteral::constant(x, age, Pred::Lt, 13)],
+        )
+        .into(),
+        DisjGed::new(
+            "tier-domain",
+            node,
+            vec![],
+            DOMAIN
+                .iter()
+                .map(|&d| Literal::constant(x, tier, d))
+                .collect(),
+        )
+        .into(),
+    ];
+    MixedWorkload {
+        graph,
+        sigma,
+        planted: 4 * plants,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ged_core::constraint::ViolationKind;
+
+    #[test]
+    fn mixed_workload_plants_exactly_per_family() {
+        let w = social_mixed(&SocialConfig::default(), 3, 11);
+        assert_eq!(w.planted, 12);
+        let report = ged_core::reason::validate(&w.graph, &w.sigma, None);
+        assert_eq!(report.total_violations(), w.planted);
+        for r in &report.per_ged {
+            assert_eq!(r.violation_count, 3, "{}: 3 plants per rule", r.name);
+        }
+        // Each family reports its native violation kind.
+        let kind_of = |name: &str| {
+            report
+                .violations
+                .iter()
+                .find(|v| v.ged_name == name)
+                .map(|v| v.kind.clone())
+                .unwrap()
+        };
+        assert!(matches!(
+            kind_of("verified⇒real"),
+            ViolationKind::Conclusions(_)
+        ));
+        assert!(matches!(
+            kind_of("no-self-follow"),
+            ViolationKind::Conclusions(_)
+        ));
+        assert!(matches!(kind_of("age≥13"), ViolationKind::Predicates(_)));
+        assert!(matches!(kind_of("tier-domain"), ViolationKind::Disjunction));
+    }
+
+    #[test]
+    fn mixed_workload_with_no_plants_is_clean() {
+        let w = social_mixed(&SocialConfig::default(), 0, 11);
+        let report = ged_core::reason::validate(&w.graph, &w.sigma, None);
+        assert!(report.satisfied());
+    }
+}

@@ -9,7 +9,11 @@
 //! (`ged_core::constraint::Constraint`): the same code serves plain GEDs,
 //! GDCs with built-in predicates, and GED∨ with disjunctive conclusions —
 //! the engine only ever needs a constraint's pattern (to enumerate
-//! candidate matches) and its per-match check (to classify them).
+//! candidate matches) and its per-match check (to classify them). A
+//! *mixed* rule set needs no normalisation either: wrap each member in
+//! `ged_core::constraint::AnyConstraint` (via `From`) and one
+//! `IncrementalValidator<AnyConstraint>` instance serves the
+//! heterogeneous Σ.
 //!
 //! * [`par`] — parallel *from-scratch* validation: rule-level sharding
 //!   (the constraints of Σ validate independently) and match-level
@@ -23,9 +27,12 @@
 //!   image intersects the nodes the delta touched — instead of re-running
 //!   full validation. The delta path is output-sensitive end to end: the
 //!   store prunes via an inverted `NodeId → witness` index (no store
-//!   scan), and re-enumeration uses exclusion-aware anchored matching so
+//!   scan), re-enumeration uses exclusion-aware anchored matching so
 //!   each affected match is visited exactly once (no enumerate-and-discard
-//!   responsibility filter).
+//!   responsibility filter), and large affected areas fan out across
+//!   worker threads at *seed granularity* — the anchored seed sets are
+//!   chunked and pulled off a shared queue, so even a single wildcard
+//!   rule parallelises.
 //!
 //! The affected-area argument (see `DESIGN.md` §4 for the proof sketch):
 //! a delta can change the violation status only of matches whose image

@@ -14,7 +14,10 @@
 //! tests), only faster on multi-core machines. This module was promoted
 //! from the bench-local helper (`ged-bench::par` now re-exports it) so the
 //! incremental engine can reuse the same sharding for its recomputation
-//! fan-out.
+//! fan-out — which it now does at *seed granularity*: the delta path
+//! chunks each rule's anchored seed set across the same scoped-thread,
+//! join-all-before-resume machinery (`validator::affected_area`), the
+//! incremental counterpart of [`violations_sharded`]'s pivot split.
 
 use crate::validator::run_sharded;
 use ged_core::constraint::Constraint;

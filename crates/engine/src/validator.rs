@@ -34,17 +34,23 @@
 //!
 //! Both hot loops are thereby output-sensitive: per update the engine does
 //! work proportional to the affected area, never to global state.
-//! Recomputation fans out across worker threads at rule granularity —
-//! the same sharding [`par`](crate::par) uses for full validation.
+//! Recomputation fans out across worker threads at **seed granularity**:
+//! the anchored seed sets are chunked and the chunks pulled off a shared
+//! queue by scoped workers ([`affected_area`]) — the same scoped-thread,
+//! join-all-before-resume machinery [`par`](crate::par) uses for full
+//! validation, but sharding *within* a rule, so a large affected area
+//! under one wildcard rule no longer recomputes single-threaded.
 
 use crate::store::ViolationStore;
 use ged_core::constraint::{Constraint, ViolationKind};
 use ged_core::reason::ValidationReport;
 use ged_core::satisfy::violations;
-use ged_graph::{Delta, DeltaEffect, DeltaSet, Graph, NodeId};
-use ged_pattern::{Match, MatchOptions, Matcher};
+use ged_graph::{Delta, DeltaEffect, DeltaSet, Graph, NodeId, Symbol};
+use ged_pattern::{Match, MatchOptions, Matcher, Var};
 use std::collections::HashSet;
-use std::ops::ControlFlow;
+use std::ops::{ControlFlow, Range};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// What one [`IncrementalValidator::apply`] / [`apply_all`] call did.
 ///
@@ -98,6 +104,23 @@ impl<C: Constraint> IncrementalValidator<C> {
             .map(|n| n.get())
             .unwrap_or(1);
         IncrementalValidator::with_threads(graph, sigma, threads)
+    }
+
+    /// Retune the worker count used by subsequent delta maintenance
+    /// (`1` = fully sequential) — the post-construction counterpart of
+    /// [`with_threads`], for validators whose deployment environment
+    /// changes after seeding (e.g. scaling workers up once the initial
+    /// full pass is done, or pinning a debug run to one thread).
+    ///
+    /// [`with_threads`]: IncrementalValidator::with_threads
+    pub fn set_threads(&mut self, threads: usize) {
+        assert!(threads >= 1, "thread count must be at least 1");
+        self.threads = threads;
+    }
+
+    /// The worker count the delta path fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// As [`IncrementalValidator::new`] with an explicit worker count
@@ -210,15 +233,16 @@ impl<C: Constraint> IncrementalValidator<C> {
             } else {
                 self.threads
             };
+            // The anchored seed sets derive from the footprint as a
+            // sorted, deduplicated vector: batch deltas touching the same
+            // node repeatedly collapse to one anchor seed, and seed-chunk
+            // boundaries are deterministic (`HashSet` iteration order is
+            // not).
+            let mut footprint: Vec<NodeId> = touched.iter().copied().collect();
+            footprint.sort_unstable();
             let graph = &self.graph;
-            let per_constraint: Vec<Vec<(Match, ViolationKind)>> =
-                run_sharded(threads, &self.sigma, |c| {
-                    affected_violations(graph, c, &touched)
-                });
-            for (ci, vs) in per_constraint.into_iter().enumerate() {
-                for (m, kind) in vs {
-                    self.store.insert(ci, m, kind);
-                }
+            for (ci, m, kind) in affected_area(graph, &self.sigma, &footprint, &touched, threads) {
+                self.store.insert(ci, m, kind);
             }
         }
         // Classify churn against the snapshot: a dropped witness the
@@ -241,59 +265,176 @@ impl<C: Constraint> IncrementalValidator<C> {
     }
 }
 
-/// Enumerate the violating matches of constraint `c` whose image
-/// intersects `touched`, each exactly once. This is the affected area of a
-/// delta with touched set `touched`; see the module docs for why nothing
-/// outside it can change status — the argument only needs `c.check` to
-/// read the ids and attributes of matched nodes, which the [`Constraint`]
-/// contract guarantees for every family, so the exclusion-aware anchored
-/// delta path is shared rather than duplicated per family.
+/// Enumerate the violating matches of constraint `ci` anchored at
+/// variable `anchor` over one chunk of its seed set, each exactly once.
+/// This is the unit of sharded affected-area work; see the module docs
+/// for why nothing outside the footprint can change status — the argument
+/// only needs `c.check` to read the ids and attributes of matched nodes,
+/// which the [`Constraint`] contract guarantees for every family, so the
+/// exclusion-aware anchored delta path is shared rather than duplicated
+/// per family.
 ///
 /// Exactly-once discipline: the match whose *first* touched variable (in
 /// declaration order) is `v` is enumerated only when anchoring `v` —
 /// variables declared before `v` have the touched nodes *excluded* from
 /// their candidate domains, so every other anchoring prunes the match
-/// before it is ever completed. No match is enumerated and then discarded.
-fn affected_violations<C: Constraint>(
+/// before it is ever completed. Chunks of one anchor's seed set are
+/// disjoint (slices of a deduplicated vector), so sharding a seed set
+/// preserves the discipline: no match is enumerated twice, none is
+/// enumerated and then discarded.
+fn affected_unit<C: Constraint>(
     g: &Graph,
     c: &C,
+    ci: usize,
+    anchor: Var,
+    seeds: &[NodeId],
     touched: &HashSet<NodeId>,
-) -> Vec<(Match, ViolationKind)> {
-    let mut out = Vec::new();
+    out: &mut Vec<(usize, Match, ViolationKind)>,
+) {
     let pattern = c.pattern();
-    if pattern.var_count() == 0 {
-        // The empty match has an empty image: never affected by deltas.
-        return out;
-    }
     let matcher = Matcher::new(pattern, g, MatchOptions::homomorphism());
-    for v in pattern.vars() {
-        let lv = pattern.label(v);
-        let seeds: Vec<NodeId> = touched
-            .iter()
-            .copied()
-            .filter(|&n| lv.matches(g.label(n)))
-            .collect();
-        if seeds.is_empty() {
+    matcher.for_each_anchored_excluding(
+        anchor,
+        seeds,
+        &|u, n| u.idx() < anchor.idx() && touched.contains(&n),
+        |m| {
+            debug_assert_eq!(
+                pattern.vars().find(|u| touched.contains(&m[u.idx()])),
+                Some(anchor),
+                "the anchor owns every match the exclusions let through"
+            );
+            if let Some(kind) = c.check(g, m) {
+                out.push((ci, m.to_vec(), kind));
+            }
+            ControlFlow::Continue(())
+        },
+    );
+}
+
+/// The affected area of one update across the whole rule set: every
+/// violating match of every constraint whose image intersects the
+/// footprint, each exactly once, sharded across `threads` workers at
+/// **seed granularity**.
+///
+/// `footprint` is the live touched set as a sorted, deduplicated vector
+/// (the debug assertion checks the seed lists inherit that — a duplicated
+/// anchor seed would enumerate its matches twice and double-count work);
+/// `touched` is the same set in hashed form for the O(1) exclusion
+/// membership tests.
+///
+/// Work units are `(constraint, anchor variable, seed chunk)` triples:
+/// each anchor's label-compatible seed list is split into up to `threads`
+/// chunks, and workers pull units off a shared counter, so a single
+/// wildcard rule with a large affected area fans out across all cores
+/// instead of recomputing single-threaded per rule (rule-level sharding —
+/// the PR 1 design — kept whole-rule re-enumerations on one worker).
+/// Workers follow the same panic discipline as
+/// [`violations_sharded`](crate::par::violations_sharded): every handle is
+/// joined before the first panic payload is resumed.
+/// One unit of sharded affected-area work: constraint index, anchor
+/// variable, the anchor's seed list (shared between its chunks), and the
+/// index range of it this unit enumerates.
+type SeedChunk = (usize, Var, Arc<Vec<NodeId>>, Range<usize>);
+
+fn affected_area<C: Constraint>(
+    g: &Graph,
+    sigma: &[C],
+    footprint: &[NodeId],
+    touched: &HashSet<NodeId>,
+    threads: usize,
+) -> Vec<(usize, Match, ViolationKind)> {
+    assert!(threads >= 1);
+    // Seed lists are memoized per distinct variable label: most rules
+    // repeat one label across variables (and rules share labels), so the
+    // O(|footprint|) filter runs once per label, not once per variable,
+    // and chunking is by index range into the shared list — no copies.
+    let mut seed_cache: Vec<(Symbol, Arc<Vec<NodeId>>)> = Vec::new();
+    let mut units: Vec<SeedChunk> = Vec::new();
+    for (ci, c) in sigma.iter().enumerate() {
+        let pattern = c.pattern();
+        if pattern.var_count() == 0 {
+            // The empty match has an empty image: never affected by deltas.
             continue;
         }
-        matcher.for_each_anchored_excluding(
-            v,
-            &seeds,
-            &|u, n| u.idx() < v.idx() && touched.contains(&n),
-            |m| {
-                debug_assert_eq!(
-                    pattern.vars().find(|u| touched.contains(&m[u.idx()])),
-                    Some(v),
-                    "the anchor owns every match the exclusions let through"
-                );
-                if let Some(kind) = c.check(g, m) {
-                    out.push((m.to_vec(), kind));
+        for v in pattern.vars() {
+            let lv = pattern.label(v);
+            let seeds = match seed_cache.iter().find(|(l, _)| *l == lv) {
+                Some((_, s)) => Arc::clone(s),
+                None => {
+                    let s: Arc<Vec<NodeId>> = Arc::new(
+                        footprint
+                            .iter()
+                            .copied()
+                            .filter(|&n| lv.matches(g.label(n)))
+                            .collect(),
+                    );
+                    debug_assert!(
+                        s.windows(2).all(|w| w[0] < w[1]),
+                        "anchor seeds are deduplicated (and sorted): {s:?}"
+                    );
+                    seed_cache.push((lv, Arc::clone(&s)));
+                    s
                 }
-                ControlFlow::Continue(())
-            },
-        );
+            };
+            if seeds.is_empty() {
+                continue;
+            }
+            let chunk = seeds.len().div_ceil(threads);
+            let mut start = 0;
+            while start < seeds.len() {
+                let end = (start + chunk).min(seeds.len());
+                units.push((ci, v, Arc::clone(&seeds), start..end));
+                start = end;
+            }
+        }
     }
-    out
+    if threads == 1 || units.len() <= 1 {
+        let mut out = Vec::new();
+        for (ci, v, seeds, range) in &units {
+            affected_unit(
+                g,
+                &sigma[*ci],
+                *ci,
+                *v,
+                &seeds[range.clone()],
+                touched,
+                &mut out,
+            );
+        }
+        return out;
+    }
+    let next = AtomicUsize::new(0);
+    let mut all = Vec::new();
+    std::thread::scope(|s| {
+        let (units, next) = (&units, &next);
+        let handles: Vec<_> = (0..threads.min(units.len()))
+            .map(|_| {
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((ci, v, seeds, range)) = units.get(i) else {
+                            break;
+                        };
+                        affected_unit(
+                            g,
+                            &sigma[*ci],
+                            *ci,
+                            *v,
+                            &seeds[range.clone()],
+                            touched,
+                            &mut out,
+                        );
+                    }
+                    out
+                })
+            })
+            .collect();
+        for batch in join_all_propagating(handles) {
+            all.extend(batch);
+        }
+    });
+    all
 }
 
 /// Run `work` once per item, sharding the list across `threads` workers;
@@ -732,6 +873,135 @@ mod tests {
                     .collect::<Vec<_>>()
             );
         }
+    }
+
+    /// One `IncrementalValidator<AnyConstraint>` serves a heterogeneous Σ:
+    /// a plain GED, a dense-order GDC, and a disjunctive GED∨ in one rule
+    /// set, maintained through deltas that hit each family.
+    #[test]
+    fn mixed_any_constraint_sigma_is_maintained_incrementally() {
+        use ged_core::constraint::AnyConstraint;
+        use ged_ext::{DisjGed, Gdc, GdcLiteral, Pred};
+        let q = parse_pattern("t(x)").unwrap();
+        let sigma: Vec<AnyConstraint> = vec![
+            key_ged().into(),
+            Gdc::forbidding(
+                "k≤9",
+                q.clone(),
+                vec![GdcLiteral::constant(Var(0), sym("k"), Pred::Gt, 9)],
+            )
+            .into(),
+            DisjGed::new(
+                "mode∈{a,b}",
+                q,
+                vec![],
+                vec![
+                    Literal::constant(Var(0), sym("mode"), "a"),
+                    Literal::constant(Var(0), sym("mode"), "b"),
+                ],
+            )
+            .into(),
+        ];
+        let mut v = IncrementalValidator::with_threads(two_dupes(), sigma, 2);
+        // Seeding: the key dupes violate the GED (2 witnesses) and, having
+        // no `mode`, the domain GED∨ (2 witnesses); k = 1 satisfies the GDC.
+        assert_eq!(v.violation_count(), 4);
+        assert_consistent(&v);
+
+        let a = v.graph().nodes().next().unwrap();
+        let stats = v.apply(&Delta::SetAttr {
+            node: a,
+            attr: sym("k"),
+            value: Value::from(50),
+        });
+        // Re-keying `a` repairs both key witnesses but trips the GDC cap.
+        assert_eq!(stats.violations_removed, 2);
+        assert_eq!(stats.violations_added, 1);
+        assert_consistent(&v);
+
+        v.apply(&Delta::SetAttr {
+            node: a,
+            attr: sym("mode"),
+            value: Value::from("b"),
+        });
+        assert_consistent(&v);
+        let names: Vec<String> = v
+            .report()
+            .violations
+            .iter()
+            .map(|x| x.ged_name.clone())
+            .collect();
+        assert!(names.contains(&"k≤9".to_string()));
+        assert!(names.contains(&"mode∈{a,b}".to_string()));
+        assert!(!names.contains(&"key".to_string()));
+    }
+
+    /// The seed-chunk sharded affected area equals the sequential one —
+    /// same witness set for any worker count, on a wildcard rule whose
+    /// seed list spans the whole footprint.
+    #[test]
+    fn sharded_affected_area_equals_sequential() {
+        use ged_pattern::Pattern;
+        let mut q = Pattern::new();
+        let x = q.var("x", "_");
+        let y = q.var("y", "_");
+        let wild_key = Ged::new(
+            "wild-key",
+            q,
+            vec![Literal::vars(x, sym("k"), y, sym("k"))],
+            vec![Literal::id(x, y)],
+        );
+        let mut g = Graph::new();
+        let nodes: Vec<NodeId> = (0..24).map(|_| g.add_node(sym("t"))).collect();
+        for (i, &n) in nodes.iter().enumerate() {
+            g.set_attr(n, sym("k"), (i % 5) as i64);
+        }
+        let sigma = vec![wild_key];
+        let mut footprint: Vec<NodeId> = nodes.iter().copied().step_by(2).collect();
+        footprint.sort_unstable();
+        let touched: HashSet<NodeId> = footprint.iter().copied().collect();
+        let canon = |mut v: Vec<(usize, Match, ViolationKind)>| {
+            v.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+            v
+        };
+        let sequential = canon(affected_area(&g, &sigma, &footprint, &touched, 1));
+        assert!(!sequential.is_empty(), "the workload has affected matches");
+        for threads in [2, 4, 7] {
+            let sharded = canon(affected_area(&g, &sigma, &footprint, &touched, threads));
+            assert_eq!(sharded, sequential, "{threads} workers");
+        }
+    }
+
+    /// `set_threads` retunes the delta path after construction: a batch
+    /// large enough to cross the parallel threshold is maintained
+    /// correctly at the new worker count.
+    #[test]
+    fn set_threads_is_honored_by_the_delta_path() {
+        let mut g = Graph::new();
+        let nodes: Vec<NodeId> = (0..20).map(|_| g.add_node(sym("t"))).collect();
+        let mut v = IncrementalValidator::with_threads(g, vec![key_ged()], 1);
+        assert_eq!(v.threads(), 1);
+        v.set_threads(4);
+        assert_eq!(v.threads(), 4);
+        let mut batch = DeltaSet::new();
+        for &n in &nodes {
+            batch.push(Delta::SetAttr {
+                node: n,
+                attr: sym("k"),
+                value: Value::from(3),
+            });
+        }
+        let stats = v.apply_all(&batch);
+        assert_eq!(stats.touched_nodes, nodes.len(), "crosses the threshold");
+        assert_eq!(v.violation_count(), nodes.len() * (nodes.len() - 1));
+        assert_consistent(&v);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn set_threads_rejects_zero() {
+        let mut v = IncrementalValidator::with_threads(Graph::new(), vec![key_ged()], 1);
+        v.set_threads(0);
     }
 
     #[test]

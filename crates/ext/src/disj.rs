@@ -8,7 +8,7 @@
 //! satisfiability/implication jump to Σᵖ₂ / Πᵖ₂ (Theorem 9) — see
 //! [`crate::reason`].
 
-use ged_core::constraint::{Constraint, ViolationKind};
+use ged_core::constraint::{AnyConstraint, Constraint, ViolationKind};
 use ged_core::ged::Ged;
 use ged_core::literal::Literal;
 use ged_core::satisfy::literal_holds;
@@ -92,6 +92,14 @@ impl Constraint for DisjGed {
 
     fn size(&self) -> usize {
         DisjGed::size(self)
+    }
+}
+
+/// GED∨s slot into heterogeneous rule sets: `Vec<AnyConstraint>` can mix
+/// them with plain GEDs and GDCs in one validator instance.
+impl From<DisjGed> for AnyConstraint {
+    fn from(d: DisjGed) -> AnyConstraint {
+        AnyConstraint::new(d)
     }
 }
 

@@ -9,7 +9,7 @@
 //! enumerate-matches engine as GEDs.
 
 use crate::predicate::Pred;
-use ged_core::constraint::{Constraint, ViolationKind};
+use ged_core::constraint::{AnyConstraint, Constraint, ViolationKind};
 use ged_core::ged::Ged;
 use ged_core::literal::Literal;
 use ged_graph::{Graph, NodeId, Symbol, Value};
@@ -253,6 +253,14 @@ impl Constraint for Gdc {
 
     fn size(&self) -> usize {
         Gdc::size(self)
+    }
+}
+
+/// GDCs slot into heterogeneous rule sets: `Vec<AnyConstraint>` can mix
+/// them with plain GEDs and GED∨ in one validator instance.
+impl From<Gdc> for AnyConstraint {
+    fn from(g: Gdc) -> AnyConstraint {
+        AnyConstraint::new(g)
     }
 }
 

@@ -15,6 +15,13 @@
 //!   shape as GEDs;
 //! * [`solver`] — the dense-order constraint oracle under the search;
 //! * [`domain`] — the Example 9/10 domain-constraint helpers.
+//!
+//! Both families are first-class members of the unified constraint layer
+//! (`ged_core::constraint`), and this crate supplies the `From<Gdc>` /
+//! `From<DisjGed>` / `From<NormConstraint>` conversions into
+//! [`ged_core::constraint::AnyConstraint`], so one `Vec<AnyConstraint>` —
+//! and one engine instance — can serve a heterogeneous Σ mixing all three
+//! families.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,6 +37,75 @@ pub use disj::{disj_satisfies, disj_satisfies_all, disj_violations, DisjGed, Dis
 pub use gdc::{gdc_satisfies, gdc_satisfies_all, gdc_violations, Gdc, GdcLiteral, GdcViolation};
 pub use predicate::Pred;
 pub use reason::{disj_implies, disj_satisfiable, gdc_implies, gdc_satisfiable, NormConstraint};
+
+#[cfg(test)]
+mod mixed_sigma {
+    use super::*;
+    use ged_core::constraint::{AnyConstraint, Constraint, ViolationKind};
+    use ged_core::ged::Ged;
+    use ged_core::literal::Literal;
+    use ged_graph::{sym, GraphBuilder};
+    use ged_pattern::{parse_pattern, Var};
+
+    /// One `Vec<AnyConstraint>` holds all three families, and the generic
+    /// enumerator classifies each with its native `ViolationKind`.
+    #[test]
+    fn one_sigma_mixes_all_three_families() {
+        let q = || parse_pattern("τ(x)").unwrap();
+        let sigma: Vec<AnyConstraint> = vec![
+            Ged::new(
+                "flagged⇒reviewed",
+                q(),
+                vec![Literal::constant(Var(0), sym("flagged"), 1)],
+                vec![Literal::constant(Var(0), sym("reviewed"), 1)],
+            )
+            .into(),
+            Gdc::forbidding(
+                "score≤10",
+                q(),
+                vec![GdcLiteral::constant(Var(0), sym("score"), Pred::Gt, 10)],
+            )
+            .into(),
+            DisjGed::new(
+                "state∈{on,off}",
+                q(),
+                vec![],
+                vec![
+                    Literal::constant(Var(0), sym("state"), "on"),
+                    Literal::constant(Var(0), sym("state"), "off"),
+                ],
+            )
+            .into(),
+        ];
+        assert_eq!(
+            sigma.iter().map(Constraint::name).collect::<Vec<_>>(),
+            ["flagged⇒reviewed", "score≤10", "state∈{on,off}"]
+        );
+
+        // One node violating every family at once.
+        let mut b = GraphBuilder::new();
+        b.node("n", "τ");
+        b.attr("n", "flagged", 1);
+        b.attr("n", "score", 99);
+        b.attr("n", "state", "limbo");
+        let g = b.build();
+        let report = ged_core::reason::validate(&g, &sigma, None);
+        assert_eq!(report.total_violations(), 3);
+        let kinds: Vec<&ViolationKind> = report.violations.iter().map(|v| &v.kind).collect();
+        assert!(matches!(kinds[0], ViolationKind::Conclusions(ls) if ls.len() == 1));
+        assert!(matches!(kinds[1], ViolationKind::Predicates(_)));
+        assert!(matches!(kinds[2], ViolationKind::Disjunction));
+
+        // NormConstraint members join the same Σ through their own From.
+        let norm: AnyConstraint = NormConstraint::from_gdc(&Gdc::forbidding(
+            "score≥0",
+            q(),
+            vec![GdcLiteral::constant(Var(0), sym("score"), Pred::Lt, 0)],
+        ))
+        .into();
+        assert!(ged_core::satisfy::violations(&g, &norm, None).is_empty());
+    }
+}
 
 #[cfg(test)]
 mod proptests {

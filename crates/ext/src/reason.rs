@@ -23,7 +23,7 @@
 use crate::disj::DisjGed;
 use crate::gdc::{Gdc, GdcLiteral};
 use crate::solver::{consistent, Constraint, Term};
-use ged_core::constraint::{Constraint as ConstraintDep, ViolationKind};
+use ged_core::constraint::{AnyConstraint, Constraint as ConstraintDep, ViolationKind};
 use ged_graph::{Graph, NodeId, Symbol};
 use ged_pattern::{MatchOptions, Matcher, Pattern};
 use std::collections::BTreeSet;
@@ -106,6 +106,14 @@ impl ConstraintDep for NormConstraint {
 
     fn size(&self) -> usize {
         self.pattern.size() + self.premises.len() + self.options.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
+/// Normalised constraints, too, can join heterogeneous rule sets — useful
+/// when a Σ mixes hand-built families with already-normalised members.
+impl From<NormConstraint> for AnyConstraint {
+    fn from(nc: NormConstraint) -> AnyConstraint {
+        AnyConstraint::new(nc)
     }
 }
 

@@ -26,7 +26,9 @@ pub mod prelude {
         prove_augmentation, prove_reflexivity, prove_transitivity, ProofBuilder,
     };
     pub use ged_core::chase::{chase, chase_from, chase_random, ChaseResult};
-    pub use ged_core::constraint::{constraint_sigma_size, Constraint, ViolationKind};
+    pub use ged_core::constraint::{
+        constraint_sigma_size, AnyConstraint, Constraint, ViolationKind,
+    };
     pub use ged_core::ged::{Ged, GedClass};
     pub use ged_core::literal::Literal;
     pub use ged_core::reason::{

@@ -577,6 +577,87 @@ fn batched_deltas_equal_full_for_gdc_and_disj() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Heterogeneous Σ: GED + GDC + GED∨ wrapped in `AnyConstraint`, served by
+// ONE validator instance — the same randomized harness, plus a lockstep
+// comparison of the seed-chunk sharded delta path against the sequential
+// one at several worker counts.
+// ---------------------------------------------------------------------
+
+/// The attribute vocabulary the mixed workload's rules read: integer
+/// writes to `tier` leave the string domain (every disjunct fails),
+/// `age` writes straddle the age≥13 boundary, `verified`/`is_fake` flips
+/// toggle the conjunctive GED's premise and conclusion.
+fn mixed_attrs() -> Vec<Symbol> {
+    vec![sym("age"), sym("tier"), sym("verified"), sym("is_fake")]
+}
+
+#[test]
+fn incremental_equals_full_on_mixed_sigma() {
+    let w = ged_datagen::mixed::social_mixed(&ged_datagen::social::SocialConfig::default(), 3, 51);
+    let v: IncrementalValidator<AnyConstraint> =
+        IncrementalValidator::with_threads(w.graph, w.sigma, 2);
+    assert_eq!(v.violation_count(), w.planted, "seeding finds the plants");
+    drive_attrs(v, 120, 52, 1, &mixed_attrs(), 30);
+}
+
+/// The sharded delta path matches the sequential one step-by-step:
+/// validators at 1/2/8 workers ingest identical batches (large enough to
+/// cross the parallel threshold) and must produce identical stats and
+/// witness sets at every step — and match full revalidation.
+#[test]
+fn mixed_sigma_sharded_delta_path_matches_sequential_step_by_step() {
+    let w = ged_datagen::mixed::social_mixed(&ged_datagen::social::SocialConfig::default(), 3, 53);
+    let mut vs: Vec<IncrementalValidator<AnyConstraint>> = [1usize, 2, 8]
+        .iter()
+        .map(|&t| IncrementalValidator::with_threads(w.graph.clone(), w.sigma.clone(), t))
+        .collect();
+    let attrs = mixed_attrs();
+    let mut rng = StdRng::seed_from_u64(54);
+    for batch_no in 0..12 {
+        let mut batch = DeltaSet::new();
+        for _ in 0..12 {
+            batch.push(random_delta(vs[0].graph(), &mut rng, &attrs, 30));
+        }
+        let base_stats = vs[0].apply_all(&batch);
+        let base = witness_set(&vs[0].report());
+        for v in &mut vs[1..] {
+            let threads = v.threads();
+            let stats = v.apply_all(&batch);
+            assert_eq!(stats, base_stats, "batch {batch_no} at {threads} workers");
+            assert_eq!(
+                witness_set(&v.report()),
+                base,
+                "batch {batch_no} at {threads} workers"
+            );
+        }
+        assert_matches_full(&vs[0], batch_no);
+    }
+}
+
+/// `set_threads` retunes the delta path mid-stream: a validator seeded
+/// sequentially serves the same batches sharded after the switch.
+#[test]
+fn set_threads_switches_the_mixed_delta_path_mid_stream() {
+    let w = ged_datagen::mixed::social_mixed(&ged_datagen::social::SocialConfig::default(), 2, 57);
+    let mut v: IncrementalValidator<AnyConstraint> =
+        IncrementalValidator::with_threads(w.graph, w.sigma, 1);
+    let attrs = mixed_attrs();
+    let mut rng = StdRng::seed_from_u64(58);
+    for batch_no in 0..8 {
+        if batch_no == 4 {
+            v.set_threads(4);
+            assert_eq!(v.threads(), 4);
+        }
+        let mut batch = DeltaSet::new();
+        for _ in 0..12 {
+            batch.push(random_delta(v.graph(), &mut rng, &attrs, 30));
+        }
+        v.apply_all(&batch);
+        assert_matches_full(&v, batch_no);
+    }
+}
+
 /// The acceptance-scale scenario: 10k-node datagen graph, 1k random
 /// deltas, incremental report equals full revalidation at every step.
 /// Run with `cargo test --release --test incremental -- --ignored`.
@@ -603,4 +684,22 @@ fn acceptance_gdc_10k_nodes_1k_deltas_every_step() {
     assert!(w.graph.node_count() >= 9_600, "acceptance scale");
     let v = IncrementalValidator::new(w.graph, w.sigma);
     drive_attrs(v, 1_000, 49, 1, &[sym("age")], 30);
+}
+
+/// The mixed-Σ acceptance-scale scenario: a ~10k-node social graph under
+/// one heterogeneous rule set (GED + GDC + GED∨ in a single
+/// `IncrementalValidator<AnyConstraint>`), 1k random deltas, incremental
+/// equals full at every step. Run with
+/// `cargo test --release --test incremental -- --ignored`.
+#[test]
+#[ignore = "acceptance-scale; run in release mode"]
+fn acceptance_mixed_10k_nodes_1k_deltas_every_step() {
+    let cfg = ged_datagen::social::SocialConfig {
+        n_honest: 2_400,
+        ..Default::default()
+    };
+    let w = ged_datagen::mixed::social_mixed(&cfg, 20, 55);
+    assert!(w.graph.node_count() >= 9_600, "acceptance scale");
+    let v: IncrementalValidator<AnyConstraint> = IncrementalValidator::new(w.graph, w.sigma);
+    drive_attrs(v, 1_000, 56, 1, &mixed_attrs(), 30);
 }
