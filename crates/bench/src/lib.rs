@@ -17,8 +17,9 @@
 //!
 //! `cargo run -p ged-bench --release --bin experiments` regenerates every
 //! EXP row (including the figure/example reproductions) as text tables;
-//! arguments filter sections by experiment id, and EXP-INC additionally
-//! writes `BENCH_INC.json` for cross-PR perf tracking.
+//! arguments filter sections by experiment id, and the EXP-INC*/EXP-SEED
+//! sections additionally write `BENCH_INC.json` for cross-PR perf
+//! tracking.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]

@@ -19,6 +19,11 @@
 //!   (the constraints of Σ validate independently) and match-level
 //!   sharding (the match space of one constraint partitions by the image
 //!   of a pivot variable), promoted here from the old bench-local helper;
+//! * [`shard`] — the **one sharding subsystem** behind every parallel
+//!   fan-out: `(constraint, anchor, seed-range)` work units pulled off a
+//!   shared queue by scoped workers, consumed by the seeding full pass,
+//!   the delta path, and the match-level split alike, with
+//!   [`SeedStats`] reporting how the seeding pass actually split;
 //! * [`IncrementalValidator`] — **delta-driven violation maintenance**: it
 //!   owns the graph and a persistent [`ViolationStore`] keyed by
 //!   (constraint, witness match), ingests [`Delta`]s / batched
@@ -31,8 +36,10 @@
 //!   each affected match is visited exactly once (no enumerate-and-discard
 //!   responsibility filter), and large affected areas fan out across
 //!   worker threads at *seed granularity* — the anchored seed sets are
-//!   chunked and pulled off a shared queue, so even a single wildcard
-//!   rule parallelises.
+//!   chunked and pulled off the shared [`shard`] queue, so even a single
+//!   wildcard rule parallelises. Construction
+//!   ([`IncrementalValidator::with_threads`]) seeds through the same
+//!   queue, so cold-start cost scales with cores, not with the skew of Σ.
 //!
 //! The affected-area argument (see `DESIGN.md` §4 for the proof sketch):
 //! a delta can change the violation status only of matches whose image
@@ -79,10 +86,12 @@
 #![forbid(unsafe_code)]
 
 pub mod par;
+pub mod shard;
 pub mod store;
 pub mod validator;
 
 pub use par::{validate_parallel, validate_rules_parallel, violations_sharded};
+pub use shard::SeedStats;
 pub use store::ViolationStore;
 pub use validator::{ApplyStats, IncrementalValidator};
 

@@ -12,20 +12,20 @@
 //! Both use `std::thread::scope` (no `unsafe`, no `'static` bounds). The
 //! results are *identical* to the sequential validator (asserted by the
 //! tests), only faster on multi-core machines. This module was promoted
-//! from the bench-local helper (`ged-bench::par` now re-exports it) so the
-//! incremental engine can reuse the same sharding for its recomputation
-//! fan-out — which it now does at *seed granularity*: the delta path
-//! chunks each rule's anchored seed set across the same scoped-thread,
-//! join-all-before-resume machinery (`validator::affected_area`), the
-//! incremental counterpart of [`violations_sharded`]'s pivot split.
+//! from the bench-local helper (`ged-bench::par` now re-exports it), and
+//! its sharding machinery has since been unified into the [`shard`]
+//! module — [`violations_sharded`]'s pivot split, the
+//! incremental delta path's affected-area fan-out, and the seeding full
+//! pass of
+//! [`IncrementalValidator::with_threads`](crate::IncrementalValidator::with_threads)
+//! all pull `(constraint, anchor, seed-range)` units off the same
+//! scoped-thread, join-all-before-resume work queue.
 
-use crate::validator::run_sharded;
+use crate::shard::{self, run_sharded, SeedUnit};
 use ged_core::constraint::Constraint;
 use ged_core::reason::{GedReport, ValidationReport};
 use ged_core::satisfy::{violations, Violation};
 use ged_graph::Graph;
-use ged_pattern::{MatchOptions, Matcher, Var};
-use std::ops::ControlFlow;
 
 /// Validate Σ by sharding the *rules* across `threads` workers. Returns
 /// per-constraint violation counts (bounded by `limit` each), in Σ order.
@@ -69,51 +69,27 @@ pub fn validate_parallel<C: Constraint>(
 }
 
 /// Validate a single constraint by sharding the *match space*: the
-/// candidate nodes of a pivot variable are split across `threads` workers,
-/// each enumerating only the matches whose pivot falls in its shard.
-/// Returns all violations (order may differ from sequential enumeration;
-/// the set is identical).
+/// candidate nodes of a pivot variable are split into
+/// `(constraint, anchor, seed-range)` units of the shared
+/// [`shard`] queue, each worker enumerating only the
+/// matches whose pivot falls in its chunks. Returns all violations (order
+/// may differ from sequential enumeration; the set is identical).
 pub fn violations_sharded<C: Constraint>(g: &Graph, c: &C, threads: usize) -> Vec<Violation> {
     assert!(threads >= 1);
     let pattern = c.pattern();
     if pattern.var_count() == 0 {
         return violations(g, c, None);
     }
-    // Pivot on the variable with the fewest candidates (most selective).
-    let pivot = pattern
-        .vars()
-        .min_by_key(|&v| g.label_candidates(pattern.label(v)).len())
-        .unwrap_or(Var(0));
-    let candidates = g.label_candidates(pattern.label(pivot));
-    if candidates.is_empty() {
-        return Vec::new();
-    }
-    let chunk = candidates.len().div_ceil(threads).max(1);
-    let mut all = Vec::new();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = candidates
-            .chunks(chunk)
-            .map(|shard| {
-                s.spawn(move || {
-                    let mut out = Vec::new();
-                    let matcher = Matcher::new(pattern, g, MatchOptions::homomorphism());
-                    matcher.for_each_anchored(pivot, shard, |m| {
-                        if let Some(kind) = c.check(g, m) {
-                            out.push(Violation {
-                                ged_name: c.name().to_string(),
-                                assignment: m.to_vec(),
-                                kind,
-                            });
-                        }
-                        ControlFlow::Continue(())
-                    });
-                    out
-                })
-            })
-            .collect();
-        for vs in crate::validator::join_all_propagating(handles) {
-            all.extend(vs);
-        }
+    let mut units: Vec<SeedUnit> = Vec::new();
+    shard::push_pivot_units(&mut units, g, 0, c, threads);
+    let (all, _per_worker) = shard::run_units(threads, &units, |unit, out| {
+        shard::check_unit(g, c, unit, |m, kind| {
+            out.push(Violation {
+                ged_name: c.name().to_string(),
+                assignment: m.to_vec(),
+                kind,
+            });
+        });
     });
     all
 }

@@ -1,0 +1,387 @@
+//! Seed-granularity work sharding — the one subsystem behind every
+//! parallel fan-out in the engine.
+//!
+//! Three consumers used to carry their own copies of the same idea
+//! (split a list of seed nodes into chunks, hand the chunks to scoped
+//! workers, join them all before resuming the first panic):
+//! the incremental delta path's affected-area recomputation
+//! ([`validator`](crate::validator)), the match-level pivot split of
+//! [`violations_sharded`](crate::par::violations_sharded), and — since
+//! this module exists — the *seeding* full pass of
+//! [`IncrementalValidator::with_threads`]. They now share one vocabulary:
+//!
+//! * a **work unit** is a `(constraint, anchor variable, seed-range)`
+//!   triple — one chunk of one anchor's seed list, enumerated by one
+//!   worker with [`Matcher::for_each_anchored`] (the delta path adds its
+//!   exclusion closure on top);
+//! * `run_units` is the shared work queue: workers pull units off an
+//!   atomic counter, so a Σ whose cost is concentrated in a single
+//!   wildcard rule still spreads across all cores — at *seed*
+//!   granularity, not rule granularity;
+//! * `run_sharded` is the coarser rule-granularity splitter kept for
+//!   the order-preserving per-rule reports of
+//!   [`validate_parallel`](crate::par::validate_parallel);
+//! * [`SeedStats`] reports how the seeding pass actually split (unit and
+//!   per-worker counts), so the fan-out is observable rather than taken
+//!   on faith.
+//!
+//! Chunks of one seed list are disjoint slices of a duplicate-free
+//! vector, so whatever exactly-once enumeration discipline holds for the
+//! whole list holds for its chunks: sharding never duplicates or drops a
+//! match.
+//!
+//! [`IncrementalValidator::with_threads`]: crate::IncrementalValidator::with_threads
+//! [`Matcher::for_each_anchored`]: ged_pattern::Matcher::for_each_anchored
+
+use ged_core::constraint::{Constraint, ViolationKind};
+use ged_graph::{Graph, NodeId};
+use ged_pattern::{MatchOptions, Matcher, Var};
+use std::ops::{ControlFlow, Range};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// One unit of seed-granularity sharded work: the index of a constraint
+/// in Σ, the pattern variable to anchor, the anchor's full seed list
+/// (shared between its chunks — an `Arc`, so chunking copies nothing),
+/// and the index range of it this unit enumerates.
+#[derive(Debug, Clone)]
+pub(crate) struct SeedUnit {
+    /// Constraint index into Σ.
+    pub ci: usize,
+    /// The pattern variable anchored on the seeds.
+    pub anchor: Var,
+    /// The anchor's full seed list, shared by every chunk of it.
+    pub seeds: Arc<Vec<NodeId>>,
+    /// The slice of `seeds` this unit owns.
+    pub range: Range<usize>,
+}
+
+impl SeedUnit {
+    /// The seeds this unit enumerates.
+    pub fn seed_slice(&self) -> &[NodeId] {
+        &self.seeds[self.range.clone()]
+    }
+}
+
+/// Split one anchor's seed list into up to `threads` contiguous chunks
+/// and append them to `units`. An empty seed list contributes nothing.
+pub(crate) fn push_units(
+    units: &mut Vec<SeedUnit>,
+    ci: usize,
+    anchor: Var,
+    seeds: Arc<Vec<NodeId>>,
+    threads: usize,
+) {
+    assert!(threads >= 1);
+    if seeds.is_empty() {
+        return;
+    }
+    let chunk = seeds.len().div_ceil(threads);
+    let mut start = 0;
+    while start < seeds.len() {
+        let end = (start + chunk).min(seeds.len());
+        units.push(SeedUnit {
+            ci,
+            anchor,
+            seeds: Arc::clone(&seeds),
+            range: start..end,
+        });
+        start = end;
+    }
+}
+
+/// Split a constraint's match space into units by its most selective
+/// **pivot** variable (fewest label candidates): every match maps the
+/// pivot to exactly one candidate, so the pivot's chunks partition the
+/// match space without duplicates. This is the unit inventory of the
+/// seeding full pass and of the match-level
+/// [`violations_sharded`](crate::par::violations_sharded) split; callers
+/// handle empty patterns (no variable to pivot on) themselves.
+pub(crate) fn push_pivot_units<C: Constraint>(
+    units: &mut Vec<SeedUnit>,
+    g: &Graph,
+    ci: usize,
+    c: &C,
+    threads: usize,
+) {
+    let pattern = c.pattern();
+    let pivot = pattern
+        .vars()
+        .min_by_key(|&v| g.label_candidate_count(pattern.label(v)))
+        .unwrap_or(Var(0));
+    let candidates = Arc::new(g.label_candidates(pattern.label(pivot)));
+    push_units(units, ci, pivot, candidates, threads);
+}
+
+/// Enumerate one unit's matches and report the violating ones: anchor the
+/// unit's variable on its seed chunk, run the constraint's per-match
+/// `check`, and hand each violation to `sink`. This is the shared body of
+/// the seeding full pass and the match-level pivot split; the delta path
+/// layers its exclusion closure on top and so keeps its own enumerator.
+pub(crate) fn check_unit<C: Constraint>(
+    g: &Graph,
+    c: &C,
+    unit: &SeedUnit,
+    mut sink: impl FnMut(&[NodeId], ViolationKind),
+) {
+    let matcher = Matcher::new(c.pattern(), g, MatchOptions::homomorphism());
+    matcher.for_each_anchored(unit.anchor, unit.seed_slice(), |m| {
+        if let Some(kind) = c.check(g, m) {
+            sink(m, kind);
+        }
+        ControlFlow::Continue(())
+    });
+}
+
+/// How the seeding full pass split across workers — the construction-time
+/// counterpart of [`ApplyStats`](crate::ApplyStats), captured once by
+/// [`IncrementalValidator::with_threads`] and left untouched by later
+/// [`set_threads`] retuning (it describes the pass that already ran, not
+/// the current tuning).
+///
+/// Invariant (asserted by the engine's tests): the per-worker unit counts
+/// sum to [`units`](SeedStats::units).
+///
+/// [`IncrementalValidator::with_threads`]: crate::IncrementalValidator::with_threads
+/// [`set_threads`]: crate::IncrementalValidator::set_threads
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SeedStats {
+    /// Total `(constraint, anchor, seed-range)` work units the seeding
+    /// pass was split into. Constraints with empty patterns or empty
+    /// candidate sets contribute no units.
+    pub units: usize,
+    /// Units processed by each worker, in worker-spawn order. Length is
+    /// the number of workers that ran (1 for a sequential pass); the
+    /// split between them is scheduling-dependent, but the counts always
+    /// sum to [`units`](SeedStats::units).
+    pub per_worker: Vec<usize>,
+    /// Violations found by the pass (equals the seeded store's total).
+    pub violations: usize,
+}
+
+/// Run every unit through `work`, sharding the unit list across
+/// `threads` workers pulling off a shared atomic counter. Each worker
+/// appends into its own output vector; the vectors are concatenated in
+/// worker order. Returns the combined output plus the per-worker unit
+/// counts ([`SeedStats::per_worker`]-shaped).
+///
+/// `threads == 1` (or ≤ 1 unit) runs inline on the caller's thread — no
+/// scoped-thread overhead for small work. If workers panic, every handle
+/// is joined before the first panic payload is resumed
+/// ([`join_all_propagating`]).
+pub(crate) fn run_units<T: Send>(
+    threads: usize,
+    units: &[SeedUnit],
+    work: impl Fn(&SeedUnit, &mut Vec<T>) + Sync,
+) -> (Vec<T>, Vec<usize>) {
+    assert!(threads >= 1);
+    if threads == 1 || units.len() <= 1 {
+        let mut out = Vec::new();
+        for unit in units {
+            work(unit, &mut out);
+        }
+        return (out, vec![units.len()]);
+    }
+    let next = AtomicUsize::new(0);
+    let mut all = Vec::new();
+    let mut per_worker = Vec::new();
+    std::thread::scope(|s| {
+        let (next, work) = (&next, &work);
+        let handles: Vec<_> = (0..threads.min(units.len()))
+            .map(|_| {
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut done = 0;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(unit) = units.get(i) else {
+                            break;
+                        };
+                        work(unit, &mut out);
+                        done += 1;
+                    }
+                    (out, done)
+                })
+            })
+            .collect();
+        for (batch, done) in join_all_propagating(handles) {
+            all.extend(batch);
+            per_worker.push(done);
+        }
+    });
+    (all, per_worker)
+}
+
+/// Run `work` once per item, sharding the list across `threads` workers
+/// at *item* (rule) granularity; results come back in input order. The
+/// items are the constraints of Σ in the engine's use — this is what the
+/// order-preserving per-rule reports of
+/// [`validate_parallel`](crate::par::validate_parallel) need; everything
+/// that can reorder freely goes through [`run_units`] instead. The
+/// sequential path avoids any thread overhead for `threads == 1` or a
+/// single item.
+///
+/// If workers panic, every handle is joined first — so no shard's work is
+/// abandoned mid-join — and then the *first* panic payload is resumed, so
+/// the original worker message (not a generic join error) reaches the
+/// user.
+pub(crate) fn run_sharded<I: Sync, T: Send>(
+    threads: usize,
+    sigma: &[I],
+    work: impl Fn(&I) -> T + Sync,
+) -> Vec<T> {
+    assert!(threads >= 1);
+    if threads == 1 || sigma.len() <= 1 {
+        return sigma.iter().map(work).collect();
+    }
+    let chunk_size = sigma.len().div_ceil(threads);
+    let mut results: Vec<Option<T>> = (0..sigma.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let work = &work;
+        let handles: Vec<_> = sigma
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(ci, chunk)| s.spawn(move || (ci, chunk.iter().map(work).collect::<Vec<T>>())))
+            .collect();
+        for (ci, vals) in join_all_propagating(handles) {
+            for (i, v) in vals.into_iter().enumerate() {
+                results[ci * chunk_size + i] = Some(v);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|o| o.expect("shard covered"))
+        .collect()
+}
+
+/// Join every scoped worker handle, collecting the successful results;
+/// if any worker panicked, resume the *first* panic payload only after
+/// all handles are joined — no shard's work is abandoned mid-join, and
+/// the original worker message (not a generic join error) reaches the
+/// caller.
+pub(crate) fn join_all_propagating<T>(
+    handles: Vec<std::thread::ScopedJoinHandle<'_, T>>,
+) -> Vec<T> {
+    let mut out = Vec::with_capacity(handles.len());
+    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    for h in handles {
+        match h.join() {
+            Ok(v) => out.push(v),
+            Err(payload) => {
+                if first_panic.is_none() {
+                    first_panic = Some(payload);
+                }
+            }
+        }
+    }
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ged_core::ged::Ged;
+    use ged_pattern::parse_pattern;
+
+    fn unit_list(lists: &[(usize, usize)], threads: usize) -> Vec<SeedUnit> {
+        // `lists` is (constraint index, seed count) per anchor list.
+        let mut units = Vec::new();
+        for &(ci, n) in lists {
+            let seeds: Arc<Vec<NodeId>> = Arc::new((0..n as u32).map(NodeId).collect());
+            push_units(&mut units, ci, Var(0), seeds, threads);
+        }
+        units
+    }
+
+    #[test]
+    fn push_units_covers_the_seed_list_with_disjoint_chunks() {
+        for (len, threads) in [(1usize, 4usize), (7, 3), (24, 8), (5, 1)] {
+            let units = unit_list(&[(0, len)], threads);
+            assert!(units.len() <= threads, "{len} seeds / {threads} workers");
+            let covered: Vec<NodeId> = units.iter().flat_map(|u| u.seed_slice().to_vec()).collect();
+            assert_eq!(covered.len(), len, "chunks partition the list");
+            assert!(
+                covered.windows(2).all(|w| w[0] < w[1]),
+                "in order, disjoint"
+            );
+        }
+        assert!(unit_list(&[(0, 0)], 4).is_empty(), "empty list, no units");
+    }
+
+    #[test]
+    fn run_units_visits_every_unit_exactly_once_and_counts_workers() {
+        let units = unit_list(&[(0, 10), (1, 6), (2, 1)], 4);
+        for threads in [1usize, 2, 4, 9] {
+            let (out, per_worker) = run_units(threads, &units, |u, out: &mut Vec<usize>| {
+                out.push(u.ci + u.range.start);
+            });
+            assert_eq!(out.len(), units.len(), "{threads} workers");
+            assert_eq!(
+                per_worker.iter().sum::<usize>(),
+                units.len(),
+                "per-worker counts sum to the unit total at {threads} workers"
+            );
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            let mut expected: Vec<usize> = units.iter().map(|u| u.ci + u.range.start).collect();
+            expected.sort_unstable();
+            assert_eq!(sorted, expected, "each unit ran exactly once");
+        }
+    }
+
+    /// Regression (moved here with `run_sharded`): the splitter used to
+    /// `expect()` on the first failed join, replacing the worker's panic
+    /// message with a generic one and abandoning the remaining handles.
+    /// All workers are joined first, then the first panic payload is
+    /// resumed verbatim.
+    #[test]
+    fn run_sharded_propagates_the_original_worker_panic() {
+        let sigma: Vec<Ged> = (0..4)
+            .map(|i| {
+                Ged::new(
+                    format!("g{i}"),
+                    parse_pattern("t(x)").unwrap(),
+                    vec![],
+                    vec![],
+                )
+            })
+            .collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_sharded(2, &sigma, |ged| {
+                if ged.name != "g0" {
+                    panic!("worker failed on {}", ged.name);
+                }
+                0usize
+            })
+        }));
+        let payload = result.expect_err("a worker panicked");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("the original String payload survives the join");
+        assert!(
+            msg.contains("worker failed on g"),
+            "original message reaches the caller, got {msg:?}"
+        );
+    }
+
+    #[test]
+    fn run_units_propagates_the_original_worker_panic_too() {
+        let units = unit_list(&[(0, 16)], 4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_units(4, &units, |u, _out: &mut Vec<usize>| {
+                if u.range.start > 0 {
+                    panic!("unit worker failed at {}", u.range.start);
+                }
+            })
+        }));
+        let payload = result.expect_err("a worker panicked");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("the original String payload survives the join");
+        assert!(msg.contains("unit worker failed"), "got {msg:?}");
+    }
+}

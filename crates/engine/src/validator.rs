@@ -35,12 +35,15 @@
 //! Both hot loops are thereby output-sensitive: per update the engine does
 //! work proportional to the affected area, never to global state.
 //! Recomputation fans out across worker threads at **seed granularity**:
-//! the anchored seed sets are chunked and the chunks pulled off a shared
-//! queue by scoped workers ([`affected_area`]) — the same scoped-thread,
-//! join-all-before-resume machinery [`par`](crate::par) uses for full
-//! validation, but sharding *within* a rule, so a large affected area
+//! the anchored seed sets are chunked into `(constraint, anchor,
+//! seed-range)` units and the units pulled off a shared queue by scoped
+//! workers — the [`shard`] machinery this delta path shares
+//! with the seeding full pass of [`IncrementalValidator::with_threads`]
+//! and with [`violations_sharded`](crate::par::violations_sharded)'s
+//! pivot split. Sharding *within* a rule means a large affected area
 //! under one wildcard rule no longer recomputes single-threaded.
 
+use crate::shard::{self, SeedStats, SeedUnit};
 use crate::store::ViolationStore;
 use ged_core::constraint::{Constraint, ViolationKind};
 use ged_core::reason::ValidationReport;
@@ -48,8 +51,7 @@ use ged_core::satisfy::violations;
 use ged_graph::{Delta, DeltaEffect, DeltaSet, Graph, NodeId, Symbol};
 use ged_pattern::{Match, MatchOptions, Matcher, Var};
 use std::collections::HashSet;
-use std::ops::{ControlFlow, Range};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::ops::ControlFlow;
 use std::sync::Arc;
 
 /// What one [`IncrementalValidator::apply`] / [`apply_all`] call did.
@@ -94,11 +96,14 @@ pub struct IncrementalValidator<C: Constraint> {
     sigma: Vec<C>,
     store: ViolationStore,
     threads: usize,
+    seed_stats: SeedStats,
 }
 
 impl<C: Constraint> IncrementalValidator<C> {
     /// Build a validator, seeding the store with a full validation pass
-    /// (parallel across rules). Uses all available cores.
+    /// sharded at seed granularity (see
+    /// [`with_threads`](IncrementalValidator::with_threads)). Uses all
+    /// available cores.
     pub fn new(graph: Graph, sigma: Vec<C>) -> IncrementalValidator<C> {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -111,6 +116,9 @@ impl<C: Constraint> IncrementalValidator<C> {
     /// [`with_threads`], for validators whose deployment environment
     /// changes after seeding (e.g. scaling workers up once the initial
     /// full pass is done, or pinning a debug run to one thread).
+    ///
+    /// Retuning does not touch [`seed_stats`](IncrementalValidator::seed_stats):
+    /// those describe the seeding pass that already ran.
     ///
     /// [`with_threads`]: IncrementalValidator::with_threads
     pub fn set_threads(&mut self, threads: usize) {
@@ -125,26 +133,64 @@ impl<C: Constraint> IncrementalValidator<C> {
 
     /// As [`IncrementalValidator::new`] with an explicit worker count
     /// (`1` = fully sequential).
+    ///
+    /// The seeding full pass shards at **seed granularity**, like the
+    /// delta path: each constraint picks its most selective pattern
+    /// variable as pivot, the pivot's candidate list splits into up to
+    /// `threads` chunks, and workers pull `(constraint, anchor,
+    /// seed-range)` units off the shared [`shard`] queue.
+    /// A Σ whose cost is concentrated in one expensive wildcard rule
+    /// therefore still seeds on all cores — rule-granularity sharding
+    /// (the previous design) would have left it effectively
+    /// single-threaded. How the pass split is recorded in
+    /// [`seed_stats`](IncrementalValidator::seed_stats).
     pub fn with_threads(graph: Graph, sigma: Vec<C>, threads: usize) -> IncrementalValidator<C> {
         assert!(threads >= 1);
         let mut store = ViolationStore::for_sigma(&sigma);
-        let per_constraint: Vec<Vec<(Match, ViolationKind)>> = run_sharded(threads, &sigma, |c| {
-            violations(&graph, c, None)
-                .into_iter()
-                .map(|v| (v.assignment, v.kind))
-                .collect()
-        });
-        for (ci, vs) in per_constraint.into_iter().enumerate() {
-            for (m, kind) in vs {
-                store.insert(ci, m, kind);
+        // Constraints with an empty pattern have exactly one (empty)
+        // match: nothing to shard, checked inline.
+        let mut found: Vec<(usize, Match, ViolationKind)> = Vec::new();
+        let mut units: Vec<SeedUnit> = Vec::new();
+        for (ci, c) in sigma.iter().enumerate() {
+            let pattern = c.pattern();
+            if pattern.var_count() == 0 {
+                found.extend(
+                    violations(&graph, c, None)
+                        .into_iter()
+                        .map(|v| (ci, v.assignment, v.kind)),
+                );
+                continue;
             }
+            shard::push_pivot_units(&mut units, &graph, ci, c, threads);
         }
+        let (batches, per_worker) = shard::run_units(threads, &units, |unit, out| {
+            shard::check_unit(&graph, &sigma[unit.ci], unit, |m, kind| {
+                out.push((unit.ci, m.to_vec(), kind));
+            });
+        });
+        for (ci, m, kind) in found.into_iter().chain(batches) {
+            store.insert(ci, m, kind);
+        }
+        let seed_stats = SeedStats {
+            units: units.len(),
+            per_worker,
+            violations: store.total(),
+        };
         IncrementalValidator {
             graph,
             sigma,
             store,
             threads,
+            seed_stats,
         }
+    }
+
+    /// How the construction-time seeding pass split across workers —
+    /// unit and per-worker counts, fixed at construction (later
+    /// [`set_threads`](IncrementalValidator::set_threads) retuning does
+    /// not rewrite history).
+    pub fn seed_stats(&self) -> &SeedStats {
+        &self.seed_stats
     }
 
     /// The current graph.
@@ -179,6 +225,52 @@ impl<C: Constraint> IncrementalValidator<C> {
     }
 
     /// Apply one delta and maintain the store.
+    ///
+    /// The returned [`ApplyStats`] classify the churn against the
+    /// pre-update store: removed, added, and retained witnesses, plus the
+    /// ids of any nodes the delta created.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ged_core::{Ged, Literal};
+    /// use ged_engine::{Delta, IncrementalValidator};
+    /// use ged_graph::{sym, Graph, Value};
+    /// use ged_pattern::{parse_pattern, Var};
+    ///
+    /// // key: two t-nodes with equal `k` must be the same node.
+    /// let q = parse_pattern("t(x); t(y)").unwrap();
+    /// let key = Ged::new(
+    ///     "key",
+    ///     q,
+    ///     vec![Literal::vars(Var(0), sym("k"), Var(1), sym("k"))],
+    ///     vec![Literal::id(Var(0), Var(1))],
+    /// );
+    ///
+    /// let mut g = Graph::new();
+    /// let a = g.add_node(sym("t"));
+    /// let b = g.add_node(sym("t"));
+    /// g.set_attr(a, sym("k"), 1);
+    /// g.set_attr(b, sym("k"), 2);
+    ///
+    /// let mut v = IncrementalValidator::new(g, vec![key]);
+    /// assert!(v.is_satisfied(), "distinct keys: no violation");
+    ///
+    /// // Re-keying `b` onto `a`'s key creates the two symmetric
+    /// // witnesses — maintained incrementally, not by revalidating.
+    /// let stats = v.apply(&Delta::SetAttr {
+    ///     node: b,
+    ///     attr: sym("k"),
+    ///     value: Value::from(1),
+    /// });
+    /// assert_eq!(stats.violations_added, 2);
+    /// assert_eq!(v.violation_count(), 2);
+    ///
+    /// // Undoing the write repairs both.
+    /// let stats = v.apply(&Delta::DelAttr { node: b, attr: sym("k") });
+    /// assert_eq!(stats.violations_removed, 2);
+    /// assert!(v.is_satisfied());
+    /// ```
     pub fn apply(&mut self, delta: &Delta) -> ApplyStats {
         let effect = self.graph.apply_delta(delta);
         self.maintain(std::iter::once(effect))
@@ -322,20 +414,17 @@ fn affected_unit<C: Constraint>(
 /// `touched` is the same set in hashed form for the O(1) exclusion
 /// membership tests.
 ///
-/// Work units are `(constraint, anchor variable, seed chunk)` triples:
-/// each anchor's label-compatible seed list is split into up to `threads`
-/// chunks, and workers pull units off a shared counter, so a single
-/// wildcard rule with a large affected area fans out across all cores
-/// instead of recomputing single-threaded per rule (rule-level sharding —
-/// the PR 1 design — kept whole-rule re-enumerations on one worker).
-/// Workers follow the same panic discipline as
-/// [`violations_sharded`](crate::par::violations_sharded): every handle is
-/// joined before the first panic payload is resumed.
-/// One unit of sharded affected-area work: constraint index, anchor
-/// variable, the anchor's seed list (shared between its chunks), and the
-/// index range of it this unit enumerates.
-type SeedChunk = (usize, Var, Arc<Vec<NodeId>>, Range<usize>);
-
+/// Work units are the `(constraint, anchor variable, seed-range)` triples
+/// of [`shard`]: each anchor's label-compatible seed list is
+/// split into up to `threads` chunks, and workers pull units off the
+/// shared queue ([`shard::run_units`]), so a single wildcard rule with a
+/// large affected area fans out across all cores instead of recomputing
+/// single-threaded per rule (rule-level sharding — the PR 1 design — kept
+/// whole-rule re-enumerations on one worker). The seeding full pass of
+/// [`IncrementalValidator::with_threads`] and the pivot split of
+/// [`violations_sharded`](crate::par::violations_sharded) ride the same
+/// queue; this path differs from them only in anchoring *every* pattern
+/// variable (not one pivot) and layering the exclusion discipline on top.
 fn affected_area<C: Constraint>(
     g: &Graph,
     sigma: &[C],
@@ -349,7 +438,7 @@ fn affected_area<C: Constraint>(
     // O(|footprint|) filter runs once per label, not once per variable,
     // and chunking is by index range into the shared list — no copies.
     let mut seed_cache: Vec<(Symbol, Arc<Vec<NodeId>>)> = Vec::new();
-    let mut units: Vec<SeedChunk> = Vec::new();
+    let mut units: Vec<SeedUnit> = Vec::new();
     for (ci, c) in sigma.iter().enumerate() {
         let pattern = c.pattern();
         if pattern.var_count() == 0 {
@@ -376,130 +465,21 @@ fn affected_area<C: Constraint>(
                     s
                 }
             };
-            if seeds.is_empty() {
-                continue;
-            }
-            let chunk = seeds.len().div_ceil(threads);
-            let mut start = 0;
-            while start < seeds.len() {
-                let end = (start + chunk).min(seeds.len());
-                units.push((ci, v, Arc::clone(&seeds), start..end));
-                start = end;
-            }
+            shard::push_units(&mut units, ci, v, seeds, threads);
         }
     }
-    if threads == 1 || units.len() <= 1 {
-        let mut out = Vec::new();
-        for (ci, v, seeds, range) in &units {
-            affected_unit(
-                g,
-                &sigma[*ci],
-                *ci,
-                *v,
-                &seeds[range.clone()],
-                touched,
-                &mut out,
-            );
-        }
-        return out;
-    }
-    let next = AtomicUsize::new(0);
-    let mut all = Vec::new();
-    std::thread::scope(|s| {
-        let (units, next) = (&units, &next);
-        let handles: Vec<_> = (0..threads.min(units.len()))
-            .map(|_| {
-                s.spawn(move || {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some((ci, v, seeds, range)) = units.get(i) else {
-                            break;
-                        };
-                        affected_unit(
-                            g,
-                            &sigma[*ci],
-                            *ci,
-                            *v,
-                            &seeds[range.clone()],
-                            touched,
-                            &mut out,
-                        );
-                    }
-                    out
-                })
-            })
-            .collect();
-        for batch in join_all_propagating(handles) {
-            all.extend(batch);
-        }
+    let (all, _per_worker) = shard::run_units(threads, &units, |unit, out| {
+        affected_unit(
+            g,
+            &sigma[unit.ci],
+            unit.ci,
+            unit.anchor,
+            unit.seed_slice(),
+            touched,
+            out,
+        );
     });
     all
-}
-
-/// Run `work` once per item, sharding the list across `threads` workers;
-/// results come back in input order. The items are the constraints of Σ in
-/// the engine's use, but nothing here depends on that. The sequential path
-/// avoids any thread overhead for `threads == 1` or a single item.
-///
-/// If workers panic, every handle is joined first — so no shard's work is
-/// abandoned mid-join — and then the *first* panic payload is resumed, so
-/// the original worker message (not a generic join error) reaches the
-/// user.
-pub(crate) fn run_sharded<I: Sync, T: Send>(
-    threads: usize,
-    sigma: &[I],
-    work: impl Fn(&I) -> T + Sync,
-) -> Vec<T> {
-    assert!(threads >= 1);
-    if threads == 1 || sigma.len() <= 1 {
-        return sigma.iter().map(work).collect();
-    }
-    let chunk_size = sigma.len().div_ceil(threads);
-    let mut results: Vec<Option<T>> = (0..sigma.len()).map(|_| None).collect();
-    std::thread::scope(|s| {
-        let work = &work;
-        let handles: Vec<_> = sigma
-            .chunks(chunk_size)
-            .enumerate()
-            .map(|(ci, chunk)| s.spawn(move || (ci, chunk.iter().map(work).collect::<Vec<T>>())))
-            .collect();
-        for (ci, vals) in join_all_propagating(handles) {
-            for (i, v) in vals.into_iter().enumerate() {
-                results[ci * chunk_size + i] = Some(v);
-            }
-        }
-    });
-    results
-        .into_iter()
-        .map(|o| o.expect("shard covered"))
-        .collect()
-}
-
-/// Join every scoped worker handle, collecting the successful results;
-/// if any worker panicked, resume the *first* panic payload only after
-/// all handles are joined — no shard's work is abandoned mid-join, and
-/// the original worker message (not a generic join error) reaches the
-/// caller.
-pub(crate) fn join_all_propagating<T>(
-    handles: Vec<std::thread::ScopedJoinHandle<'_, T>>,
-) -> Vec<T> {
-    let mut out = Vec::with_capacity(handles.len());
-    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
-    for h in handles {
-        match h.join() {
-            Ok(v) => out.push(v),
-            Err(payload) => {
-                if first_panic.is_none() {
-                    first_panic = Some(payload);
-                }
-            }
-        }
-    }
-    if let Some(payload) = first_panic {
-        std::panic::resume_unwind(payload);
-    }
-    out
 }
 
 #[cfg(test)]
@@ -701,40 +681,6 @@ mod tests {
         assert_eq!(stats.violations_retained, 0);
         assert_eq!(v.violation_count(), 2);
         assert_consistent(&v);
-    }
-
-    /// Regression: `run_sharded` used to `expect()` on the first failed
-    /// join, replacing the worker's panic message with a generic one and
-    /// abandoning the remaining handles. All workers are joined first,
-    /// then the first panic payload is resumed verbatim.
-    #[test]
-    fn run_sharded_propagates_the_original_worker_panic() {
-        let sigma: Vec<Ged> = (0..4)
-            .map(|i| {
-                Ged::new(
-                    format!("g{i}"),
-                    parse_pattern("t(x)").unwrap(),
-                    vec![],
-                    vec![],
-                )
-            })
-            .collect();
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_sharded(2, &sigma, |ged| {
-                if ged.name != "g0" {
-                    panic!("worker failed on {}", ged.name);
-                }
-                0usize
-            })
-        }));
-        let payload = result.expect_err("a worker panicked");
-        let msg = payload
-            .downcast_ref::<String>()
-            .expect("the original String payload survives the join");
-        assert!(
-            msg.contains("worker failed on g"),
-            "original message reaches the caller, got {msg:?}"
-        );
     }
 
     #[test]
@@ -1013,5 +959,159 @@ mod tests {
         v.apply(&Delta::AddNode { label: sym("t") });
         assert!(v.is_satisfied());
         assert_consistent(&v);
+    }
+
+    /// A Σ whose cost is concentrated in one wildcard rule, over a graph
+    /// where that rule has real work: the seeding skew scenario the
+    /// seed-granularity construction pass exists for.
+    fn hot_wildcard_sigma_and_graph() -> (Graph, Vec<ged_core::constraint::AnyConstraint>) {
+        use ged_core::constraint::AnyConstraint;
+        use ged_ext::{Gdc, GdcLiteral, Pred};
+        use ged_pattern::Pattern;
+        let mut q = Pattern::new();
+        let x = q.var("x", "_");
+        let y = q.var("y", "_");
+        let wild_key = Ged::new(
+            "wild-key",
+            q,
+            vec![Literal::vars(x, sym("k"), y, sym("k"))],
+            vec![Literal::id(x, y)],
+        );
+        let qt = parse_pattern("t(x)").unwrap();
+        let sigma: Vec<AnyConstraint> = vec![
+            wild_key.into(),
+            Gdc::forbidding(
+                "k≤40",
+                qt.clone(),
+                vec![GdcLiteral::constant(Var(0), sym("k"), Pred::Gt, 40)],
+            )
+            .into(),
+            Ged::new(
+                "t-note",
+                qt,
+                vec![Literal::constant(Var(0), sym("flag"), 1)],
+                vec![Literal::constant(Var(0), sym("note"), "set")],
+            )
+            .into(),
+        ];
+        let mut g = Graph::new();
+        for i in 0..30i64 {
+            let label = if i % 3 == 0 { sym("t") } else { sym("u") };
+            let n = g.add_node(label);
+            g.set_attr(n, sym("k"), i % 7);
+            if i % 5 == 0 {
+                g.set_attr(n, sym("flag"), 1);
+            }
+        }
+        (g, sigma)
+    }
+
+    /// Lockstep: the seed-granularity seeding pass produces the same
+    /// store as the sequential one at every worker count, on a mixed Σ
+    /// dominated by a single wildcard rule — and both equal a
+    /// from-scratch full validation.
+    #[test]
+    fn seeding_is_lockstep_with_sequential_at_1_2_8_workers() {
+        let (g, sigma) = hot_wildcard_sigma_and_graph();
+        let sequential = IncrementalValidator::with_threads(g.clone(), sigma.clone(), 1);
+        assert!(
+            sequential.violation_count() > 0,
+            "the workload seeds a non-trivial store"
+        );
+        assert_consistent(&sequential);
+        let witness_set = |v: &IncrementalValidator<_>| {
+            v.store()
+                .iter()
+                .map(|(ci, m, _)| (ci, m.clone()))
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        let expected = witness_set(&sequential);
+        for threads in [2usize, 8] {
+            let sharded = IncrementalValidator::with_threads(g.clone(), sigma.clone(), threads);
+            assert_eq!(
+                witness_set(&sharded),
+                expected,
+                "identical seeded stores at {threads} workers"
+            );
+            assert_consistent(&sharded);
+        }
+    }
+
+    /// The seeding pass splits a single rule's anchor domain across
+    /// workers: with one wildcard rule and `n` workers, construction
+    /// produces multiple units (rule-granularity would produce work for
+    /// only one worker).
+    #[test]
+    fn seeding_splits_a_single_rule_across_workers() {
+        use ged_pattern::Pattern;
+        let mut q = Pattern::new();
+        let x = q.var("x", "_");
+        let y = q.var("y", "_");
+        let wild = Ged::new(
+            "wild-key",
+            q,
+            vec![Literal::vars(x, sym("k"), y, sym("k"))],
+            vec![Literal::id(x, y)],
+        );
+        let mut g = Graph::new();
+        for i in 0..40i64 {
+            let n = g.add_node(sym("t"));
+            g.set_attr(n, sym("k"), i % 4);
+        }
+        let v = IncrementalValidator::with_threads(g, vec![wild], 4);
+        let stats = v.seed_stats();
+        assert_eq!(stats.units, 4, "one rule still yields `threads` units");
+        assert_eq!(stats.per_worker.iter().sum::<usize>(), stats.units);
+        assert!(
+            stats.per_worker.len() > 1,
+            "more than one worker ran: {stats:?}"
+        );
+        assert_eq!(stats.violations, v.violation_count());
+        assert_consistent(&v);
+    }
+
+    /// `SeedStats` invariants: per-worker unit counts sum to the unit
+    /// total at every worker count, and the stats are fixed at
+    /// construction — `set_threads` retuning does not rewrite them.
+    #[test]
+    fn seed_stats_sum_and_survive_set_threads() {
+        let (g, sigma) = hot_wildcard_sigma_and_graph();
+        for threads in [1usize, 2, 8] {
+            let mut v = IncrementalValidator::with_threads(g.clone(), sigma.clone(), threads);
+            let stats = v.seed_stats().clone();
+            assert_eq!(
+                stats.per_worker.iter().sum::<usize>(),
+                stats.units,
+                "per-worker counts sum to the unit total at {threads} workers"
+            );
+            assert_eq!(stats.violations, v.violation_count());
+            v.set_threads(5);
+            assert_eq!(
+                v.seed_stats(),
+                &stats,
+                "retuning the delta path leaves the seeding record untouched"
+            );
+        }
+    }
+
+    /// Empty-pattern constraints seed inline (their single empty match
+    /// has no seeds to shard) alongside sharded rules, at any worker
+    /// count — they contribute no units but are still checked.
+    #[test]
+    fn seeding_handles_empty_pattern_rules_at_any_worker_count() {
+        use ged_pattern::Pattern;
+        let trivial = Ged::new("trivial", Pattern::new(), vec![], vec![]);
+        for threads in [1usize, 4] {
+            let v = IncrementalValidator::with_threads(
+                two_dupes(),
+                vec![trivial.clone(), key_ged()],
+                threads,
+            );
+            assert_eq!(v.violation_count(), 2, "the two key witnesses");
+            // The empty-pattern rule contributes no work units; only the
+            // key rule's anchor domain is sharded.
+            assert_eq!(v.seed_stats().units, threads.min(2));
+            assert_consistent(&v);
+        }
     }
 }

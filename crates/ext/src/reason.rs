@@ -86,8 +86,8 @@ pub(crate) fn x_holds_and_all_options_fail<'a, L: 'a>(
 }
 
 /// Normalised constraints plug straight into the generic engines: the
-/// check is the shared [`x_holds_and_all_options_fail`] evaluation over
-/// the options.
+/// check is the shared `x_holds_and_all_options_fail` evaluation over
+/// the options ("X holds and every conclusion option fails").
 impl ConstraintDep for NormConstraint {
     fn name(&self) -> &str {
         &self.name

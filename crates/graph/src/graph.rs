@@ -295,6 +295,17 @@ impl Graph {
         }
     }
 
+    /// `label_candidates(pat_label).len()` without allocating the list —
+    /// for selectivity comparisons (e.g. picking the pivot variable with
+    /// the fewest candidates) that only need the count.
+    pub fn label_candidate_count(&self, pat_label: Symbol) -> usize {
+        if pat_label.is_wildcard() {
+            self.node_count()
+        } else {
+            self.nodes_with_label(pat_label).len()
+        }
+    }
+
     /// The distinct labels present in the graph.
     pub fn labels(&self) -> impl Iterator<Item = Symbol> + '_ {
         self.label_index.keys().copied()
@@ -473,6 +484,21 @@ mod tests {
         assert_eq!(g.nodes_with_label(sym("nothing")), &[] as &[NodeId]);
         assert_eq!(g.label_candidates(Symbol::WILDCARD), vec![p1, p2, q]);
         assert_eq!(g.label_candidates(sym("product")), vec![q]);
+        // The allocation-free count agrees with the list, tombstones
+        // included.
+        for label in [Symbol::WILDCARD, sym("person"), sym("nothing")] {
+            assert_eq!(
+                g.label_candidate_count(label),
+                g.label_candidates(label).len()
+            );
+        }
+        g.remove_node(p1);
+        for label in [Symbol::WILDCARD, sym("person")] {
+            assert_eq!(
+                g.label_candidate_count(label),
+                g.label_candidates(label).len()
+            );
+        }
     }
 
     #[test]

@@ -249,7 +249,7 @@ pub mod collection {
     use super::TestRng;
     use std::ops::Range;
 
-    /// Element-count specification for [`vec`]: an exact size or a
+    /// Element-count specification for [`vec()`]: an exact size or a
     /// half-open range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
@@ -281,7 +281,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Clone)]
     pub struct VecStrategy<S> {
         element: S,
