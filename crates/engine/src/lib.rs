@@ -85,11 +85,13 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod metrics;
 pub mod par;
 pub mod shard;
 pub mod store;
 pub mod validator;
 
+pub use metrics::{EngineMetrics, MetricsSnapshot, Phase, PhaseSnapshot, RuleSnapshot};
 pub use par::{validate_parallel, validate_rules_parallel, violations_sharded};
 pub use shard::SeedStats;
 pub use store::ViolationStore;

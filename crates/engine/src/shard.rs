@@ -35,7 +35,7 @@
 
 use ged_core::constraint::{Constraint, ViolationKind};
 use ged_graph::{Graph, NodeId};
-use ged_pattern::{MatchOptions, Matcher, Var};
+use ged_pattern::{MatchOptions, MatchRecorder, Matcher, Var};
 use std::ops::{ControlFlow, Range};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -118,13 +118,18 @@ pub(crate) fn push_pivot_units<C: Constraint>(
 /// `check`, and hand each violation to `sink`. This is the shared body of
 /// the seeding full pass and the match-level pivot split; the delta path
 /// layers its exclusion closure on top and so keeps its own enumerator.
-pub(crate) fn check_unit<C: Constraint>(
+///
+/// The matcher hot loop reports to `recorder`; instrumented callers pass
+/// a per-unit `CellRecorder`, unobserved ones the no-op recorder (which
+/// compiles the hook away).
+pub(crate) fn check_unit<C: Constraint, R: MatchRecorder>(
     g: &Graph,
     c: &C,
     unit: &SeedUnit,
+    recorder: &R,
     mut sink: impl FnMut(&[NodeId], ViolationKind),
 ) {
-    let matcher = Matcher::new(c.pattern(), g, MatchOptions::homomorphism());
+    let matcher = Matcher::with_recorder(c.pattern(), g, MatchOptions::homomorphism(), recorder);
     matcher.for_each_anchored(unit.anchor, unit.seed_slice(), |m| {
         if let Some(kind) = c.check(g, m) {
             sink(m, kind);
@@ -159,6 +164,27 @@ pub struct SeedStats {
     pub violations: usize,
 }
 
+impl std::fmt::Display for SeedStats {
+    /// One-line human summary, e.g.
+    /// `seeded 42 violation(s) from 12 unit(s) across 4 worker(s) [3/3/3/3]`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "seeded {} violation(s) from {} unit(s) across {} worker(s) [",
+            self.violations,
+            self.units,
+            self.per_worker.len()
+        )?;
+        for (i, n) in self.per_worker.iter().enumerate() {
+            if i > 0 {
+                write!(f, "/")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "]")
+    }
+}
+
 /// Run every unit through `work`, sharding the unit list across
 /// `threads` workers pulling off a shared atomic counter. Each worker
 /// appends into its own output vector; the vectors are concatenated in
@@ -174,42 +200,72 @@ pub(crate) fn run_units<T: Send>(
     units: &[SeedUnit],
     work: impl Fn(&SeedUnit, &mut Vec<T>) + Sync,
 ) -> (Vec<T>, Vec<usize>) {
+    let (all, per_worker, _shards) = run_units_with(
+        threads,
+        units,
+        || (),
+        |u, out, ()| {
+            work(u, out);
+        },
+    );
+    (all, per_worker)
+}
+
+/// As [`run_units`], threading a per-worker **scratch shard** `W` through
+/// the work closure: each worker gets its own `W` from `new_shard`, every
+/// unit it runs may mutate it without synchronization, and the shards
+/// come back (in worker order) alongside the outputs for the caller to
+/// merge. This is how the engine's instrumentation aggregates per-rule
+/// cost attribution *on read*: workers tally match attempts and unit
+/// latencies into plain-`u64` shards, and the coordinator folds them into
+/// the shared atomic registry after the join — the hot loop never touches
+/// a shared cache line.
+pub(crate) fn run_units_with<T: Send, W: Send>(
+    threads: usize,
+    units: &[SeedUnit],
+    new_shard: impl Fn() -> W + Sync,
+    work: impl Fn(&SeedUnit, &mut Vec<T>, &mut W) + Sync,
+) -> (Vec<T>, Vec<usize>, Vec<W>) {
     assert!(threads >= 1);
     if threads == 1 || units.len() <= 1 {
         let mut out = Vec::new();
+        let mut shard = new_shard();
         for unit in units {
-            work(unit, &mut out);
+            work(unit, &mut out, &mut shard);
         }
-        return (out, vec![units.len()]);
+        return (out, vec![units.len()], vec![shard]);
     }
     let next = AtomicUsize::new(0);
     let mut all = Vec::new();
     let mut per_worker = Vec::new();
+    let mut shards = Vec::new();
     std::thread::scope(|s| {
-        let (next, work) = (&next, &work);
+        let (next, new_shard, work) = (&next, &new_shard, &work);
         let handles: Vec<_> = (0..threads.min(units.len()))
             .map(|_| {
                 s.spawn(move || {
                     let mut out = Vec::new();
+                    let mut shard = new_shard();
                     let mut done = 0;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(unit) = units.get(i) else {
                             break;
                         };
-                        work(unit, &mut out);
+                        work(unit, &mut out, &mut shard);
                         done += 1;
                     }
-                    (out, done)
+                    (out, done, shard)
                 })
             })
             .collect();
-        for (batch, done) in join_all_propagating(handles) {
+        for (batch, done, shard) in join_all_propagating(handles) {
             all.extend(batch);
             per_worker.push(done);
+            shards.push(shard);
         }
     });
-    (all, per_worker)
+    (all, per_worker, shards)
 }
 
 /// Run `work` once per item, sharding the list across `threads` workers
@@ -331,6 +387,45 @@ mod tests {
             expected.sort_unstable();
             assert_eq!(sorted, expected, "each unit ran exactly once");
         }
+    }
+
+    /// The scratch-shard variant hands every worker its own `W` and
+    /// returns one shard per worker that ran; merged shard tallies equal
+    /// the unit total no matter how the queue happened to interleave.
+    #[test]
+    fn run_units_with_returns_one_scratch_shard_per_worker() {
+        let units = unit_list(&[(0, 10), (1, 6), (2, 1)], 4);
+        for threads in [1usize, 2, 4] {
+            let (out, per_worker, shards) = run_units_with(
+                threads,
+                &units,
+                || 0u64,
+                |_, out: &mut Vec<usize>, w| {
+                    out.push(1);
+                    *w += 1;
+                },
+            );
+            assert_eq!(out.len(), units.len());
+            assert_eq!(shards.len(), per_worker.len(), "{threads} workers");
+            assert_eq!(
+                shards.iter().sum::<u64>(),
+                units.len() as u64,
+                "shard tallies cover every unit at {threads} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn seed_stats_display_is_a_one_line_summary() {
+        let stats = SeedStats {
+            units: 4,
+            per_worker: vec![3, 1],
+            violations: 7,
+        };
+        assert_eq!(
+            stats.to_string(),
+            "seeded 7 violation(s) from 4 unit(s) across 2 worker(s) [3/1]"
+        );
     }
 
     /// Regression (moved here with `run_sharded`): the splitter used to

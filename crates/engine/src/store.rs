@@ -165,6 +165,20 @@ impl ViolationStore {
         self.slots.len() - self.free.len()
     }
 
+    /// Length of the slab — live *and* free slots. Together with
+    /// [`total`](ViolationStore::total) this exposes the store's memory
+    /// shape to the metrics gauges: a slab much longer than the live count
+    /// means the store grew through a churn spike and is now mostly
+    /// free-listed capacity.
+    pub fn slab_len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of freed slab slots awaiting reuse.
+    pub fn free_len(&self) -> usize {
+        self.free.len()
+    }
+
     /// Number of stored witnesses whose image contains `node` — an
     /// inverted-index lookup, O(1) in the store size.
     pub fn count_at(&self, node: NodeId) -> usize {

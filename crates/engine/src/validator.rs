@@ -43,16 +43,19 @@
 //! pivot split. Sharding *within* a rule means a large affected area
 //! under one wildcard rule no longer recomputes single-threaded.
 
+use crate::metrics::{EngineMetrics, MetricsSnapshot, Phase, WorkerShard};
 use crate::shard::{self, SeedStats, SeedUnit};
 use crate::store::ViolationStore;
 use ged_core::constraint::{Constraint, ViolationKind};
 use ged_core::reason::ValidationReport;
-use ged_core::satisfy::violations;
+use ged_core::satisfy::{violations_recorded, Violation};
 use ged_graph::{Delta, DeltaEffect, DeltaSet, Graph, NodeId, Symbol};
-use ged_pattern::{Match, MatchOptions, Matcher, Var};
+use ged_obs::{CellRecorder, MatchRecorder, NOOP};
+use ged_pattern::{Match, MatchOptions, Matcher};
 use std::collections::HashSet;
 use std::ops::ControlFlow;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// What one [`IncrementalValidator::apply`] / [`apply_all`] call did.
 ///
@@ -97,6 +100,7 @@ pub struct IncrementalValidator<C: Constraint> {
     store: ViolationStore,
     threads: usize,
     seed_stats: SeedStats,
+    metrics: EngineMetrics,
 }
 
 impl<C: Constraint> IncrementalValidator<C> {
@@ -146,31 +150,60 @@ impl<C: Constraint> IncrementalValidator<C> {
     /// [`seed_stats`](IncrementalValidator::seed_stats).
     pub fn with_threads(graph: Graph, sigma: Vec<C>, threads: usize) -> IncrementalValidator<C> {
         assert!(threads >= 1);
+        let metrics = EngineMetrics::for_sigma(&sigma);
+        let t_seed = metrics.start();
         let mut store = ViolationStore::for_sigma(&sigma);
         // Constraints with an empty pattern have exactly one (empty)
-        // match: nothing to shard, checked inline.
+        // match: nothing to shard, checked inline — tallied into an extra
+        // coordinator-side shard so their cost still attributes per rule.
+        let mut inline = WorkerShard::new(sigma.len(), metrics.is_enabled());
         let mut found: Vec<(usize, Match, ViolationKind)> = Vec::new();
         let mut units: Vec<SeedUnit> = Vec::new();
         for (ci, c) in sigma.iter().enumerate() {
             let pattern = c.pattern();
             if pattern.var_count() == 0 {
-                found.extend(
-                    violations(&graph, c, None)
-                        .into_iter()
-                        .map(|v| (ci, v.assignment, v.kind)),
-                );
+                found.extend(seed_inline(&graph, c, ci, &mut inline));
                 continue;
             }
             shard::push_pivot_units(&mut units, &graph, ci, c, threads);
         }
-        let (batches, per_worker) = shard::run_units(threads, &units, |unit, out| {
-            shard::check_unit(&graph, &sigma[unit.ci], unit, |m, kind| {
-                out.push((unit.ci, m.to_vec(), kind));
-            });
-        });
+        let n_rules = sigma.len();
+        let enabled = metrics.is_enabled();
+        let (batches, per_worker, shards) = shard::run_units_with(
+            threads,
+            &units,
+            || WorkerShard::new(n_rules, enabled),
+            |unit, out, ws| {
+                if ws.enabled {
+                    let recorder = CellRecorder::new();
+                    let t0 = Instant::now();
+                    let before = out.len();
+                    shard::check_unit(&graph, &sigma[unit.ci], unit, &recorder, |m, kind| {
+                        out.push((unit.ci, m.to_vec(), kind));
+                    });
+                    ws.add_unit(
+                        unit.ci,
+                        recorder.attempts(),
+                        recorder.matches(),
+                        (out.len() - before) as u64,
+                        t0.elapsed().as_nanos() as u64,
+                    );
+                } else {
+                    shard::check_unit(&graph, &sigma[unit.ci], unit, &NOOP, |m, kind| {
+                        out.push((unit.ci, m.to_vec(), kind));
+                    });
+                }
+            },
+        );
+        metrics.merge_pass(&inline, Phase::Seeding);
+        for ws in &shards {
+            metrics.merge_pass(ws, Phase::Seeding);
+        }
         for (ci, m, kind) in found.into_iter().chain(batches) {
             store.insert(ci, m, kind);
         }
+        metrics.finish(Phase::Seeding, t_seed);
+        metrics.note_store(&store);
         let seed_stats = SeedStats {
             units: units.len(),
             per_worker,
@@ -182,6 +215,7 @@ impl<C: Constraint> IncrementalValidator<C> {
             store,
             threads,
             seed_stats,
+            metrics,
         }
     }
 
@@ -191,6 +225,34 @@ impl<C: Constraint> IncrementalValidator<C> {
     /// not rewrite history).
     pub fn seed_stats(&self) -> &SeedStats {
         &self.seed_stats
+    }
+
+    /// A point-in-time aggregate of the engine's metrics registry:
+    /// per-phase latency histograms, per-rule match/violation counters,
+    /// store gauges, and the recent batch trace. Human-readable via
+    /// `Display`, machine-readable via [`MetricsSnapshot::to_json`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Turn instrumentation on or off (on by default). While disabled the
+    /// delta path monomorphizes with the no-op recorder and reads no
+    /// clock — it *is* the uninstrumented engine; existing tallies are
+    /// kept, not reset.
+    pub fn set_metrics_enabled(&mut self, on: bool) {
+        self.metrics.set_enabled(on);
+    }
+
+    /// Is instrumentation currently on?
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.is_enabled()
+    }
+
+    /// The recent apply batches retained by the event-trace ring buffer,
+    /// oldest first, as `(batch id, stats)` — the same trace that is
+    /// dumped to stderr when the maintenance path panics.
+    pub fn trace(&self) -> Vec<(u64, ApplyStats)> {
+        self.metrics.trace()
     }
 
     /// The current graph.
@@ -272,7 +334,9 @@ impl<C: Constraint> IncrementalValidator<C> {
     /// assert!(v.is_satisfied());
     /// ```
     pub fn apply(&mut self, delta: &Delta) -> ApplyStats {
+        let t = self.metrics.start();
         let effect = self.graph.apply_delta(delta);
+        self.metrics.finish(Phase::DeltaApply, t);
         self.maintain(std::iter::once(effect))
     }
 
@@ -280,11 +344,13 @@ impl<C: Constraint> IncrementalValidator<C> {
     /// over the union of their touched sets — cheaper than per-delta
     /// maintenance when deltas cluster in the same region.
     pub fn apply_all(&mut self, deltas: &DeltaSet) -> ApplyStats {
+        let t = self.metrics.start();
         let effects: Vec<DeltaEffect> = deltas
             .deltas()
             .iter()
             .map(|d| self.graph.apply_delta(d))
             .collect();
+        self.metrics.finish(Phase::DeltaApply, t);
         self.maintain(effects)
     }
 
@@ -303,11 +369,16 @@ impl<C: Constraint> IncrementalValidator<C> {
         if stats.deltas_applied == 0 {
             return stats;
         }
+        // If anything below unwinds, dump the recent batch trace so the
+        // panic report carries the apply history that led up to it.
+        let _trace_dump = self.metrics.dump_trace_on_panic();
 
         // Drop while `touched` still holds removed ids, so witnesses of
         // dead nodes (and of edges whose endpoints these are) go too. The
         // dropped entries are the pre-update snapshot of the affected area.
+        let t = self.metrics.start();
         let dropped = self.store.drop_intersecting(&touched);
+        self.metrics.finish(Phase::WitnessDrop, t);
         let pruned = self.store.total();
 
         // Only live nodes seed re-enumeration (ids removed by this batch
@@ -333,9 +404,19 @@ impl<C: Constraint> IncrementalValidator<C> {
             let mut footprint: Vec<NodeId> = touched.iter().copied().collect();
             footprint.sort_unstable();
             let graph = &self.graph;
-            for (ci, m, kind) in affected_area(graph, &self.sigma, &footprint, &touched, threads) {
+            let area = affected_area(
+                graph,
+                &self.sigma,
+                &footprint,
+                &touched,
+                threads,
+                &self.metrics,
+            );
+            let t = self.metrics.start();
+            for (ci, m, kind) in area {
                 self.store.insert(ci, m, kind);
             }
+            self.metrics.finish(Phase::StoreInsert, t);
         }
         // Classify churn against the snapshot: a dropped witness the
         // re-enumeration restored was retained, not removed + re-added.
@@ -348,6 +429,8 @@ impl<C: Constraint> IncrementalValidator<C> {
             .count();
         stats.violations_removed = dropped.len() - stats.violations_retained;
         stats.violations_added = self.store.total() - pruned - stats.violations_retained;
+        self.metrics
+            .record_batch(&stats, dropped.len(), &self.store);
         stats
     }
 
@@ -355,6 +438,53 @@ impl<C: Constraint> IncrementalValidator<C> {
     pub fn into_graph(self) -> Graph {
         self.graph
     }
+}
+
+impl std::fmt::Display for ApplyStats {
+    /// One-line summary:
+    /// `applied 3 delta(s): +2/−1 witness(es), 4 retained, 5 node(s) touched`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "applied {} delta(s): +{}/−{} witness(es), {} retained, {} node(s) touched",
+            self.deltas_applied,
+            self.violations_added,
+            self.violations_removed,
+            self.violations_retained,
+            self.touched_nodes
+        )?;
+        if !self.created.is_empty() {
+            write!(f, ", {} created", self.created.len())?;
+        }
+        Ok(())
+    }
+}
+
+/// Seed one empty-pattern constraint inline — its single empty match has
+/// no seeds to shard — tallying cost into the coordinator-side `shard`
+/// when instrumentation is on.
+fn seed_inline<C: Constraint>(
+    g: &Graph,
+    c: &C,
+    ci: usize,
+    shard: &mut WorkerShard,
+) -> Vec<(usize, Match, ViolationKind)> {
+    let vs: Vec<Violation> = if shard.enabled {
+        let recorder = CellRecorder::new();
+        let t0 = Instant::now();
+        let vs = violations_recorded(g, c, None, &recorder);
+        shard.add_unit(
+            ci,
+            recorder.attempts(),
+            recorder.matches(),
+            vs.len() as u64,
+            t0.elapsed().as_nanos() as u64,
+        );
+        vs
+    } else {
+        violations_recorded(g, c, None, &NOOP)
+    };
+    vs.into_iter().map(|v| (ci, v.assignment, v.kind)).collect()
 }
 
 /// Enumerate the violating matches of constraint `ci` anchored at
@@ -374,20 +504,20 @@ impl<C: Constraint> IncrementalValidator<C> {
 /// disjoint (slices of a deduplicated vector), so sharding a seed set
 /// preserves the discipline: no match is enumerated twice, none is
 /// enumerated and then discarded.
-fn affected_unit<C: Constraint>(
+fn affected_unit<C: Constraint, R: MatchRecorder>(
     g: &Graph,
     c: &C,
-    ci: usize,
-    anchor: Var,
-    seeds: &[NodeId],
+    unit: &shard::SeedUnit,
     touched: &HashSet<NodeId>,
+    recorder: &R,
     out: &mut Vec<(usize, Match, ViolationKind)>,
 ) {
+    let anchor = unit.anchor;
     let pattern = c.pattern();
-    let matcher = Matcher::new(pattern, g, MatchOptions::homomorphism());
+    let matcher = Matcher::with_recorder(pattern, g, MatchOptions::homomorphism(), recorder);
     matcher.for_each_anchored_excluding(
         anchor,
-        seeds,
+        unit.seed_slice(),
         &|u, n| u.idx() < anchor.idx() && touched.contains(&n),
         |m| {
             debug_assert_eq!(
@@ -396,7 +526,7 @@ fn affected_unit<C: Constraint>(
                 "the anchor owns every match the exclusions let through"
             );
             if let Some(kind) = c.check(g, m) {
-                out.push((ci, m.to_vec(), kind));
+                out.push((unit.ci, m.to_vec(), kind));
             }
             ControlFlow::Continue(())
         },
@@ -431,8 +561,10 @@ fn affected_area<C: Constraint>(
     footprint: &[NodeId],
     touched: &HashSet<NodeId>,
     threads: usize,
+    metrics: &EngineMetrics,
 ) -> Vec<(usize, Match, ViolationKind)> {
     assert!(threads >= 1);
+    let t = metrics.start();
     // Seed lists are memoized per distinct variable label: most rules
     // repeat one label across variables (and rules share labels), so the
     // O(|footprint|) filter runs once per label, not once per variable,
@@ -468,17 +600,36 @@ fn affected_area<C: Constraint>(
             shard::push_units(&mut units, ci, v, seeds, threads);
         }
     }
-    let (all, _per_worker) = shard::run_units(threads, &units, |unit, out| {
-        affected_unit(
-            g,
-            &sigma[unit.ci],
-            unit.ci,
-            unit.anchor,
-            unit.seed_slice(),
-            touched,
-            out,
-        );
-    });
+    // The materialize/re-enumerate boundary shares one clock read.
+    let t = metrics.lap(Phase::Materialize, t);
+    let n_rules = sigma.len();
+    let enabled = metrics.is_enabled();
+    let (all, _per_worker, shards) = shard::run_units_with(
+        threads,
+        &units,
+        || WorkerShard::new(n_rules, enabled),
+        |unit, out, ws| {
+            if ws.enabled {
+                let recorder = CellRecorder::new();
+                let t0 = Instant::now();
+                let before = out.len();
+                affected_unit(g, &sigma[unit.ci], unit, touched, &recorder, out);
+                ws.add_unit(
+                    unit.ci,
+                    recorder.attempts(),
+                    recorder.matches(),
+                    (out.len() - before) as u64,
+                    t0.elapsed().as_nanos() as u64,
+                );
+            } else {
+                affected_unit(g, &sigma[unit.ci], unit, touched, &NOOP, out);
+            }
+        },
+    );
+    metrics.finish(Phase::Reenumerate, t);
+    for ws in &shards {
+        metrics.merge_pass(ws, Phase::Reenumerate);
+    }
     all
 }
 
@@ -910,10 +1061,13 @@ mod tests {
             v.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
             v
         };
-        let sequential = canon(affected_area(&g, &sigma, &footprint, &touched, 1));
+        let metrics = EngineMetrics::for_sigma(&sigma);
+        let sequential = canon(affected_area(&g, &sigma, &footprint, &touched, 1, &metrics));
         assert!(!sequential.is_empty(), "the workload has affected matches");
         for threads in [2, 4, 7] {
-            let sharded = canon(affected_area(&g, &sigma, &footprint, &touched, threads));
+            let sharded = canon(affected_area(
+                &g, &sigma, &footprint, &touched, threads, &metrics,
+            ));
             assert_eq!(sharded, sequential, "{threads} workers");
         }
     }
@@ -1092,6 +1246,124 @@ mod tests {
                 "retuning the delta path leaves the seeding record untouched"
             );
         }
+    }
+
+    /// The metrics snapshot reflects the work the engine actually did:
+    /// seeding fills the per-rule counters and the seeding phase, apply
+    /// batches fill the delta-path phases, churn counters, store gauges,
+    /// and the batch trace.
+    #[test]
+    fn metrics_snapshot_reflects_seeding_and_delta_batches() {
+        let (g, sigma) = hot_wildcard_sigma_and_graph();
+        let mut v = IncrementalValidator::with_threads(g, sigma, 2);
+        assert!(v.metrics_enabled(), "instrumentation is on by default");
+        let seeded = v.metrics();
+        assert_eq!(seeded.batches, 0, "no batch applied yet");
+        assert!(seeded.match_attempts() > 0, "seeding attempted candidates");
+        assert!(seeded.matches_found() > 0);
+        assert_eq!(
+            seeded.phase(Phase::Seeding).unwrap().count,
+            1,
+            "construction times exactly one seeding pass"
+        );
+        assert!(seeded.rules.iter().any(|r| r.seed_ns > 0));
+        assert_eq!(
+            seeded.rules.iter().map(|r| r.violations_found).sum::<u64>(),
+            v.violation_count() as u64,
+            "seeding attribution sums to the seeded store"
+        );
+        assert_eq!(seeded.store_size, v.violation_count() as u64);
+        assert_eq!(seeded.rules[0].name, v.sigma()[0].name());
+
+        let n = v.graph().nodes().next().unwrap();
+        let stats = v.apply(&Delta::SetAttr {
+            node: n,
+            attr: sym("k"),
+            value: Value::from(100),
+        });
+        let m = v.metrics();
+        assert_eq!(m.batches, 1);
+        assert_eq!(m.deltas_applied, 1);
+        assert_eq!(m.touched_nodes, stats.touched_nodes as u64);
+        assert_eq!(m.witnesses_added, stats.violations_added as u64);
+        assert_eq!(m.witnesses_removed, stats.violations_removed as u64);
+        for phase in [Phase::DeltaApply, Phase::WitnessDrop, Phase::Materialize] {
+            assert_eq!(m.phase(phase).unwrap().count, 1, "{}", phase.name());
+        }
+        assert_eq!(m.store_size, v.violation_count() as u64);
+        assert!(m.store_slab_slots >= m.store_size);
+        let trace = v.trace();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].0, 1, "batch ids are 1-based ring sequences");
+        assert_eq!(trace[0].1, stats);
+        // The snapshot renders both ways without panicking.
+        assert!(m.to_string().contains("1 batch(es)"));
+        assert!(m.to_json().contains("\"batches\": 1"));
+    }
+
+    /// Disabling metrics freezes the registry: the delta path runs with
+    /// the no-op recorder and records nothing, and re-enabling resumes
+    /// (histograms only ever grow).
+    #[test]
+    fn disabled_metrics_record_nothing_and_resume_on_reenable() {
+        let mut v = IncrementalValidator::with_threads(two_dupes(), vec![key_ged()], 1);
+        v.set_metrics_enabled(false);
+        let frozen = v.metrics();
+        let a = v.graph().nodes().next().unwrap();
+        v.apply(&Delta::SetAttr {
+            node: a,
+            attr: sym("k"),
+            value: Value::from(7),
+        });
+        let m = v.metrics();
+        assert!(!m.enabled);
+        assert_eq!(m.batches, frozen.batches, "no batch recorded while off");
+        assert_eq!(m.match_attempts(), frozen.match_attempts());
+        assert!(v.trace().is_empty());
+
+        v.set_metrics_enabled(true);
+        v.apply(&Delta::SetAttr {
+            node: a,
+            attr: sym("k"),
+            value: Value::from(1),
+        });
+        let m = v.metrics();
+        assert_eq!(m.batches, frozen.batches + 1);
+        assert!(m.match_attempts() > frozen.match_attempts());
+    }
+
+    /// A cloned validator gets an independent copy of the registry:
+    /// tallies diverge after the clone, starting from the same values.
+    #[test]
+    fn cloned_validator_does_not_share_metrics() {
+        let mut original = IncrementalValidator::with_threads(two_dupes(), vec![key_ged()], 1);
+        let clone = original.clone();
+        assert_eq!(clone.metrics().batches, original.metrics().batches);
+        let a = original.graph().nodes().next().unwrap();
+        original.apply(&Delta::SetAttr {
+            node: a,
+            attr: sym("k"),
+            value: Value::from(3),
+        });
+        assert_eq!(original.metrics().batches, 1);
+        assert_eq!(clone.metrics().batches, 0, "the clone saw no batch");
+    }
+
+    #[test]
+    fn apply_stats_display_is_a_one_line_summary() {
+        let stats = ApplyStats {
+            deltas_applied: 3,
+            violations_removed: 1,
+            violations_added: 2,
+            violations_retained: 4,
+            touched_nodes: 5,
+            created: vec![NodeId(9)],
+        };
+        assert_eq!(
+            stats.to_string(),
+            "applied 3 delta(s): +2/−1 witness(es), 4 retained, 5 node(s) touched, 1 created"
+        );
+        assert!(!stats.to_string().contains('\n'));
     }
 
     /// Empty-pattern constraints seed inline (their single empty match

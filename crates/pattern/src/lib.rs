@@ -27,6 +27,10 @@ pub use matcher::{
 };
 pub use pattern::{Pattern, PatternEdge, Var};
 
+// Re-export the matcher's observability hook so downstream crates can
+// name the recorder bound without depending on `ged-obs` directly.
+pub use ged_obs::{CellRecorder, MatchRecorder, NoopRecorder};
+
 #[cfg(test)]
 mod proptests {
     use super::*;

@@ -17,6 +17,7 @@
 
 use crate::pattern::{Pattern, Var};
 use ged_graph::{Graph, NodeId};
+use ged_obs::{MatchRecorder, NoopRecorder, NOOP};
 use std::ops::ControlFlow;
 
 /// Matching semantics.
@@ -72,16 +73,39 @@ impl MatchOptions {
 pub type Match = Vec<NodeId>;
 
 /// The matcher: borrows a pattern and a graph, precomputes the search order.
-pub struct Matcher<'a> {
+///
+/// The recorder parameter `R` is the observability hook of the hot loop:
+/// it defaults to [`NoopRecorder`], whose empty methods monomorphize away,
+/// so un-observed matching compiles to the engine it always was. Observed
+/// enumeration goes through [`Matcher::with_recorder`].
+pub struct Matcher<'a, R: MatchRecorder = NoopRecorder> {
     pattern: &'a Pattern,
     graph: &'a Graph,
     opts: MatchOptions,
     order: Vec<Var>,
+    recorder: &'a R,
 }
 
 impl<'a> Matcher<'a> {
-    /// Build a matcher for `pattern` over `graph`.
+    /// Build a matcher for `pattern` over `graph` (unobserved: the no-op
+    /// recorder costs nothing).
     pub fn new(pattern: &'a Pattern, graph: &'a Graph, opts: MatchOptions) -> Matcher<'a> {
+        Matcher::with_recorder(pattern, graph, opts, &NOOP)
+    }
+}
+
+impl<'a, R: MatchRecorder> Matcher<'a, R> {
+    /// Build a matcher whose hot loop reports to `recorder`: one
+    /// [`MatchRecorder::on_attempt`] per candidate node considered, one
+    /// [`MatchRecorder::on_match`] per complete match. The engine's
+    /// instrumented paths pass a `CellRecorder` per work unit and fold
+    /// the tallies into per-worker shards.
+    pub fn with_recorder(
+        pattern: &'a Pattern,
+        graph: &'a Graph,
+        opts: MatchOptions,
+        recorder: &'a R,
+    ) -> Matcher<'a, R> {
         let order = if opts.smart_order {
             smart_order(pattern, graph)
         } else {
@@ -92,6 +116,7 @@ impl<'a> Matcher<'a> {
             graph,
             opts,
             order,
+            recorder,
         }
     }
 
@@ -195,6 +220,11 @@ impl<'a> Matcher<'a> {
     where
         E: Fn(Var, NodeId) -> bool + ?Sized,
     {
+        // The seeds are the anchor's candidate list: count them as
+        // attempts so anchored enumeration attributes cost like the plain
+        // candidate loop does (a single-variable rule would otherwise
+        // report matches with zero attempts).
+        self.recorder.add_attempts(seeds.len() as u64);
         for &n in seeds {
             if !self.for_each_seeded_excluding(&[(anchor, n)], excluded, &mut f) {
                 return false;
@@ -219,11 +249,16 @@ impl<'a> Matcher<'a> {
             depth += 1;
         }
         if depth == self.order.len() {
+            self.recorder.on_match();
             let full: Vec<NodeId> = assign.iter().map(|o| o.unwrap()).collect();
             return f(&full);
         }
         let v = self.order[depth];
         let candidates = self.candidates(v, assign);
+        // Attempts count every candidate in the list unconditionally, so
+        // report the whole level in one call — the hot loop itself stays
+        // hook-free.
+        self.recorder.add_attempts(candidates.len() as u64);
         for n in candidates {
             if excluded(v, n) || !self.consistent(v, n, assign) {
                 continue;
@@ -785,6 +820,38 @@ mod tests {
                 assert_eq!(got, base, "smart={smart} adj={adj}");
             }
         }
+    }
+
+    /// The recorder hook observes without perturbing: a recorded run
+    /// yields the same matches as a plain one, `on_match` fires once per
+    /// match, and `on_attempt` counts every candidate considered (so it
+    /// dominates the match count for non-empty patterns).
+    #[test]
+    fn recorder_counts_attempts_and_matches_without_changing_results() {
+        use ged_obs::CellRecorder;
+        let g = creator_graph();
+        let q = q1();
+        let plain = find_all(&q, &g, MatchOptions::homomorphism());
+        let rec = CellRecorder::new();
+        let mut observed = Vec::new();
+        Matcher::with_recorder(&q, &g, MatchOptions::homomorphism(), &rec).for_each(|m| {
+            observed.push(m.to_vec());
+            ControlFlow::Continue(())
+        });
+        assert_eq!(observed, plain, "recording does not change the matches");
+        assert_eq!(rec.matches(), plain.len() as u64);
+        assert!(
+            rec.attempts() >= rec.matches(),
+            "every match costs at least one candidate attempt: {} < {}",
+            rec.attempts(),
+            rec.matches()
+        );
+        // The empty pattern has one match and zero candidates to try.
+        let empty = Pattern::new();
+        let rec = CellRecorder::new();
+        Matcher::with_recorder(&empty, &g, MatchOptions::homomorphism(), &rec)
+            .for_each(|_| ControlFlow::Continue(()));
+        assert_eq!((rec.attempts(), rec.matches()), (0, 1));
     }
 
     #[test]

@@ -33,6 +33,7 @@ fn main() {
     // 2. Seed the incremental validator: one full validation, then the
     //    store is maintained under deltas.
     let mut v = IncrementalValidator::new(graph, vec![phi1]);
+    println!("seeding:   {}", v.seed_stats());
     println!("initial:   {} violation(s)", v.violation_count());
     for viol in &v.report().violations {
         println!("  {} at {:?}", viol.ged_name, viol.assignment);
@@ -45,12 +46,7 @@ fn main() {
         attr: sym("type"),
         value: Value::from("programmer"),
     });
-    println!(
-        "fix tony:  {} violation(s)  (removed {}, touched {} node(s))",
-        v.violation_count(),
-        stats.violations_removed,
-        stats.touched_nodes
-    );
+    println!("fix tony:  {stats} → {} violation(s)", v.violation_count());
 
     // A new, conforming creator/product pair arrives as one batch; the
     // apply stats hand back the fresh node ids.

@@ -88,11 +88,7 @@ fn main() {
             attr: sym(attr),
             value,
         });
-        println!(
-            "set {attr}: -{} violation(s), {} left",
-            stats.violations_removed,
-            v.violation_count()
-        );
+        println!("set {attr}: {stats} → {} left", v.violation_count());
     }
     assert!(v.is_satisfied());
     println!("\nG ⊨ Σ — one engine, three constraint families.");

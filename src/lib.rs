@@ -16,6 +16,7 @@ pub use ged_datagen as datagen;
 pub use ged_engine as engine;
 pub use ged_ext as ext;
 pub use ged_graph as graph;
+pub use ged_obs as obs;
 pub use ged_pattern as pattern;
 
 /// Everything needed to define graphs, patterns and constraints (GEDs,
@@ -37,7 +38,7 @@ pub mod prelude {
     pub use ged_core::satisfy::{is_model, satisfies, satisfies_all, violations};
     pub use ged_engine::{
         validate_parallel, validate_rules_parallel, violations_sharded, ApplyStats,
-        IncrementalValidator, SeedStats, ViolationStore,
+        IncrementalValidator, MetricsSnapshot, Phase, SeedStats, ViolationStore,
     };
     pub use ged_ext::{
         disj_implies, disj_satisfiable, disj_satisfies, gdc_implies, gdc_satisfiable,
@@ -46,6 +47,7 @@ pub mod prelude {
     pub use ged_graph::{
         sym, Delta, DeltaEffect, DeltaSet, Graph, GraphBuilder, NodeId, Symbol, Value,
     };
+    pub use ged_obs::{CellRecorder, MatchRecorder, NoopRecorder};
     pub use ged_pattern::{parse_pattern, MatchOptions, Pattern, Semantics, Var};
 }
 

@@ -166,7 +166,7 @@ fn drive_attrs<C: Constraint>(
     check_every: usize,
     attrs: &[Symbol],
     values: i64,
-) {
+) -> IncrementalValidator<C> {
     let mut rng = StdRng::seed_from_u64(seed);
     for step in 0..steps {
         let d = random_delta(v.graph(), &mut rng, attrs, values);
@@ -176,11 +176,17 @@ fn drive_attrs<C: Constraint>(
         }
     }
     assert_matches_full(&v, steps);
+    v
 }
 
-fn drive<C: Constraint>(v: IncrementalValidator<C>, steps: usize, seed: u64, check_every: usize) {
+fn drive<C: Constraint>(
+    v: IncrementalValidator<C>,
+    steps: usize,
+    seed: u64,
+    check_every: usize,
+) -> IncrementalValidator<C> {
     let attrs: Vec<Symbol> = vec![sym("key"), sym("attr0"), sym("attr1")];
-    drive_attrs(v, steps, seed, check_every, &attrs, 4);
+    drive_attrs(v, steps, seed, check_every, &attrs, 4)
 }
 
 #[test]
@@ -658,6 +664,127 @@ fn set_threads_switches_the_mixed_delta_path_mid_stream() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Observability: counter determinism under sharding, histogram
+// monotonicity across batches.
+// ---------------------------------------------------------------------
+
+/// Metric counters are shard-invariant: anchored re-enumeration is
+/// per-seed work and chunk boundaries only redistribute units across
+/// workers, so validators at 1/2/8 workers ingesting identical batches
+/// over the mixed Σ tally identical attempts, matches, violations, and
+/// witness churn — the sequential totals, exactly.
+#[test]
+fn metrics_counters_identical_sequential_vs_sharded() {
+    let w = ged_datagen::mixed::social_mixed(&ged_datagen::social::SocialConfig::default(), 3, 61);
+    let mut vs: Vec<IncrementalValidator<AnyConstraint>> = [1usize, 2, 8]
+        .iter()
+        .map(|&t| IncrementalValidator::with_threads(w.graph.clone(), w.sigma.clone(), t))
+        .collect();
+    let attrs = mixed_attrs();
+    let mut rng = StdRng::seed_from_u64(62);
+    for _ in 0..10 {
+        let mut batch = DeltaSet::new();
+        for _ in 0..12 {
+            // 12 deltas per batch: footprints cross the parallel
+            // threshold, so the 2/8-worker validators really shard.
+            batch.push(random_delta(vs[0].graph(), &mut rng, &attrs, 30));
+        }
+        for v in &mut vs {
+            v.apply_all(&batch);
+        }
+    }
+    let base = vs[0].metrics();
+    for v in &vs[1..] {
+        let m = v.metrics();
+        let t = v.threads();
+        assert_eq!(m.batches, base.batches, "batches at {t} workers");
+        assert_eq!(m.deltas_applied, base.deltas_applied, "{t} workers");
+        assert_eq!(m.touched_nodes, base.touched_nodes, "{t} workers");
+        assert_eq!(m.witnesses_dropped, base.witnesses_dropped, "{t} workers");
+        assert_eq!(m.witnesses_removed, base.witnesses_removed, "{t} workers");
+        assert_eq!(m.witnesses_added, base.witnesses_added, "{t} workers");
+        assert_eq!(m.witnesses_retained, base.witnesses_retained, "{t} workers");
+        assert_eq!(m.store_size, base.store_size, "{t} workers");
+        assert_eq!(m.match_attempts(), base.match_attempts(), "{t} workers");
+        assert_eq!(m.matches_found(), base.matches_found(), "{t} workers");
+        for (r, b) in m.rules.iter().zip(&base.rules) {
+            assert_eq!(r.name, b.name, "{t} workers");
+            assert_eq!(
+                r.match_attempts, b.match_attempts,
+                "{}: {t} workers",
+                r.name
+            );
+            assert_eq!(r.matches_found, b.matches_found, "{}: {t} workers", r.name);
+            assert_eq!(
+                r.violations_found, b.violations_found,
+                "{}: {t} workers",
+                r.name
+            );
+        }
+    }
+}
+
+/// Histograms and counters only grow: snapshots taken after each batch
+/// dominate the previous one sample-for-sample (phase counts and sums,
+/// unit latencies, per-rule tallies), and the batch counter advances by
+/// exactly one per apply.
+#[test]
+fn metrics_histograms_grow_monotonically_across_batches() {
+    let (g, sigma) = workload(80, 1, 63);
+    let mut v = IncrementalValidator::with_threads(g, sigma, 2);
+    let attrs: Vec<Symbol> = vec![sym("key"), sym("attr0"), sym("attr1")];
+    let mut rng = StdRng::seed_from_u64(64);
+    let mut prev = v.metrics();
+    for batch_no in 0..12 {
+        let mut batch = DeltaSet::new();
+        for _ in 0..10 {
+            batch.push(random_delta(v.graph(), &mut rng, &attrs, 4));
+        }
+        v.apply_all(&batch);
+        let m = v.metrics();
+        assert_eq!(m.batches, prev.batches + 1, "batch {batch_no}");
+        assert!(m.deltas_applied >= prev.deltas_applied, "batch {batch_no}");
+        for (p, q) in m.phases.iter().zip(&prev.phases) {
+            assert!(
+                p.latency.count >= q.latency.count,
+                "batch {batch_no}: {} count shrank",
+                p.phase.name()
+            );
+            assert!(
+                p.latency.sum_ns >= q.latency.sum_ns,
+                "batch {batch_no}: {} sum shrank",
+                p.phase.name()
+            );
+            assert!(
+                p.latency.max_ns >= q.latency.max_ns,
+                "batch {batch_no}: {} max shrank",
+                p.phase.name()
+            );
+        }
+        assert!(
+            m.unit_latency.count >= prev.unit_latency.count,
+            "batch {batch_no}"
+        );
+        for (r, b) in m.rules.iter().zip(&prev.rules) {
+            assert!(r.match_attempts >= b.match_attempts, "batch {batch_no}");
+            assert!(r.matches_found >= b.matches_found, "batch {batch_no}");
+            assert!(r.seed_ns >= b.seed_ns, "batch {batch_no}");
+            assert!(r.reenum_ns >= b.reenum_ns, "batch {batch_no}");
+        }
+        prev = m;
+    }
+}
+
+/// Write an acceptance run's metrics snapshot next to the working dir so
+/// CI can upload it as an artifact alongside `BENCH_INC.json`.
+fn write_metrics_snapshot(v: &IncrementalValidator<impl Constraint>, file: &str) {
+    let json = v.metrics().to_json();
+    if let Err(e) = std::fs::write(file, json) {
+        eprintln!("could not write {file}: {e}");
+    }
+}
+
 /// The acceptance-scale scenario: 10k-node datagen graph, 1k random
 /// deltas, incremental report equals full revalidation at every step.
 /// Run with `cargo test --release --test incremental -- --ignored`.
@@ -666,7 +793,8 @@ fn set_threads_switches_the_mixed_delta_path_mid_stream() {
 fn acceptance_10k_nodes_1k_deltas_every_step() {
     let (g, sigma) = workload(10_000, 2, 47);
     let v = IncrementalValidator::new(g, sigma);
-    drive(v, 1_000, 12, 1);
+    let v = drive(v, 1_000, 12, 1);
+    write_metrics_snapshot(&v, "METRICS_10K.json");
 }
 
 /// The GDC acceptance-scale scenario: a ~10k-node social graph under the
@@ -683,7 +811,8 @@ fn acceptance_gdc_10k_nodes_1k_deltas_every_step() {
     let w = ged_datagen::gdc::social_gdcs(&cfg, 20, 48);
     assert!(w.graph.node_count() >= 9_600, "acceptance scale");
     let v = IncrementalValidator::new(w.graph, w.sigma);
-    drive_attrs(v, 1_000, 49, 1, &[sym("age")], 30);
+    let v = drive_attrs(v, 1_000, 49, 1, &[sym("age")], 30);
+    write_metrics_snapshot(&v, "METRICS_10K_GDC.json");
 }
 
 /// The mixed-Σ acceptance-scale scenario: a ~10k-node social graph under
@@ -701,5 +830,6 @@ fn acceptance_mixed_10k_nodes_1k_deltas_every_step() {
     let w = ged_datagen::mixed::social_mixed(&cfg, 20, 55);
     assert!(w.graph.node_count() >= 9_600, "acceptance scale");
     let v: IncrementalValidator<AnyConstraint> = IncrementalValidator::new(w.graph, w.sigma);
-    drive_attrs(v, 1_000, 56, 1, &mixed_attrs(), 30);
+    let v = drive_attrs(v, 1_000, 56, 1, &mixed_attrs(), 30);
+    write_metrics_snapshot(&v, "METRICS_10K_MIXED.json");
 }
