@@ -22,7 +22,7 @@ fn bench_entity_resolution(c: &mut Criterion) {
                 let r = chase(g, &keys);
                 assert!(r.stats().within_bounds(), "Theorem 1 bounds");
                 r.is_consistent()
-            })
+            });
         });
     }
     group.finish();
@@ -39,7 +39,7 @@ fn bench_chase_graph_size(c: &mut Criterion) {
             seed: 2,
         });
         group.bench_with_input(BenchmarkId::from_parameter(clean), &inst.graph, |b, g| {
-            b.iter(|| chase(g, &keys).is_consistent())
+            b.iter(|| chase(g, &keys).is_consistent());
         });
     }
     group.finish();

@@ -55,7 +55,7 @@ fn bench_drop(c: &mut Criterion) {
                     indexed.insert(g, m, f);
                 }
                 k
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("scan", n), &(), |b, ()| {
             b.iter(|| {
@@ -73,7 +73,7 @@ fn bench_drop(c: &mut Criterion) {
                     scan.insert(m, f);
                 }
                 k
-            })
+            });
         });
     }
     group.finish();
@@ -139,10 +139,10 @@ fn bench_anchor(c: &mut Criterion) {
             "both schemes keep the same affected matches"
         );
         group.bench_with_input(BenchmarkId::new("owner-filter", footprint), &(), |b, ()| {
-            b.iter(|| owner_filter_count(black_box(&q), black_box(&g), &touched))
+            b.iter(|| owner_filter_count(black_box(&q), black_box(&g), &touched));
         });
         group.bench_with_input(BenchmarkId::new("excluding", footprint), &(), |b, ()| {
-            b.iter(|| excluding_count(black_box(&q), black_box(&g), &touched))
+            b.iter(|| excluding_count(black_box(&q), black_box(&g), &touched));
         });
     }
     group.finish();

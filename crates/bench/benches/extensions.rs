@@ -19,7 +19,7 @@ fn bench_gdc_satisfiability(c: &mut Criterion) {
             sigma.push(b);
         }
         group.bench_with_input(BenchmarkId::from_parameter(doms), &sigma, |b, s| {
-            b.iter(|| gdc_satisfiable(s))
+            b.iter(|| gdc_satisfiable(s));
         });
     }
     group.finish();
@@ -32,7 +32,7 @@ fn bench_gdc_validation_same_shape_as_ged(c: &mut Criterion) {
         let w = validation_workload(n, 3, 2, 7);
         let gdcs: Vec<Gdc> = w.sigma.iter().map(Gdc::from_ged).collect();
         group.bench_with_input(BenchmarkId::new("ged", n), &w, |b, w| {
-            b.iter(|| ged_core::reason::validate(&w.graph, &w.sigma, Some(1)).satisfied())
+            b.iter(|| ged_core::reason::validate(&w.graph, &w.sigma, Some(1)).satisfied());
         });
         group.bench_with_input(
             BenchmarkId::new("gdc", n),

@@ -31,7 +31,7 @@ fn bench_workload(
                     v.apply(d);
                 }
                 v.violation_count()
-            })
+            });
         },
     );
 
@@ -47,7 +47,7 @@ fn bench_workload(
                     total = validate(&g, sigma, None).total_violations();
                 }
                 total
-            })
+            });
         },
     );
     group.finish();

@@ -56,7 +56,7 @@ fn bench_heuristics(c: &mut Criterion) {
             adjacency_candidates: adj,
         };
         group.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, opts| {
-            b.iter(|| count(&q, &g, *opts))
+            b.iter(|| count(&q, &g, *opts));
         });
     }
     group.finish();

@@ -13,7 +13,7 @@ fn bench_gfd_reduction(c: &mut Criterion) {
         let inst = ColoringInstance::cycle(n);
         let sigma = satisfiability_gfd(&inst);
         group.bench_with_input(BenchmarkId::from_parameter(n), &sigma, |b, s| {
-            b.iter(|| is_satisfiable(s))
+            b.iter(|| is_satisfiable(s));
         });
     }
     group.finish();
@@ -26,7 +26,7 @@ fn bench_gkey_reduction(c: &mut Criterion) {
         let inst = ColoringInstance::cycle(n);
         let sigma = satisfiability_gkey(&inst);
         group.bench_with_input(BenchmarkId::from_parameter(n), &sigma, |b, s| {
-            b.iter(|| is_satisfiable(s))
+            b.iter(|| is_satisfiable(s));
         });
     }
     group.finish();
@@ -40,11 +40,11 @@ fn bench_gfdx_constant_time(c: &mut Criterion) {
         // keeping only variable-literal conclusions via classification.
         let sigma: Vec<_> = random_sigma(count * 2, 3, &cfg)
             .into_iter()
-            .filter(|g| g.is_gfdx())
+            .filter(ged_core::Ged::is_gfdx)
             .take(count)
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(count), &sigma, |b, s| {
-            b.iter(|| is_trivially_satisfiable(s))
+            b.iter(|| is_trivially_satisfiable(s));
         });
     }
     group.finish();

@@ -11,7 +11,7 @@ fn bench_validation_vs_graph_size(c: &mut Criterion) {
     for n in [100usize, 200, 400] {
         let w = validation_workload(n, 3, 2, 7);
         group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
-            b.iter(|| validate(&w.graph, &w.sigma, Some(1)))
+            b.iter(|| validate(&w.graph, &w.sigma, Some(1)));
         });
     }
     group.finish();
@@ -23,7 +23,7 @@ fn bench_validation_vs_pattern_size(c: &mut Criterion) {
     for k in [2usize, 3, 4, 5] {
         let w = validation_workload(150, k, 3, 7);
         group.bench_with_input(BenchmarkId::from_parameter(k), &w, |b, w| {
-            b.iter(|| validate(&w.graph, &w.sigma, Some(1)))
+            b.iter(|| validate(&w.graph, &w.sigma, Some(1)));
         });
     }
     group.finish();

@@ -63,6 +63,7 @@ fn main() {
         ("EXP-INC-MIXED", exp_inc_mixed),
         ("EXP-INC-PAR", exp_inc_par),
         ("EXP-SEED", exp_seed),
+        ("EXP-ANALYZE", exp_analyze),
         ("EXP-OBS", exp_obs),
     ];
     let filters: Vec<String> = std::env::args().skip(1).collect();
@@ -946,7 +947,7 @@ fn exp_inc_par() {
         "sharded vs single-threaded incremental delta path (wildcard affected area)",
     );
     let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
+        .map(std::num::NonZero::get)
         .unwrap_or(1);
     let cfg = RandomGraphConfig {
         n_nodes: 4_000,
@@ -1058,7 +1059,7 @@ fn exp_seed() {
         "sharded vs single-threaded seeding pass (mixed Σ, one hot wildcard rule)",
     );
     let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
+        .map(std::num::NonZero::get)
         .unwrap_or(1);
     let scfg = SocialConfig {
         n_honest: 250,
@@ -1161,6 +1162,176 @@ fn exp_seed() {
     }
 }
 
+/// EXP-ANALYZE — the static analyzer as a deployment optimization: the
+/// `redundant` workload plants four prunable rules (an implied rule, a
+/// verbatim duplicate, contradictory premises, an entailed conclusion)
+/// among three live ones. The section asserts `analyze` finds every
+/// planted diagnostic, then deploys the Σ twice — plain
+/// `with_threads(…, 1)` vs `with_analysis` with pruning — and measures
+/// the seeding pass and a status-attribute delta burst on both. The
+/// pruned rules share the expensive edge-bound pattern with the live
+/// ones, so both phases must get measurably cheaper while the live
+/// rules' violations and the satisfaction verdict stay identical. Rows
+/// land in BENCH_INC.json with class `analyze`; `incremental_us` is the
+/// pruned side, `full_us` the unpruned one.
+fn exp_analyze() {
+    use ged_analysis::{analyze, LintKind, Severity};
+    use ged_core::constraint::Constraint as _;
+    use ged_datagen::redundant::redundant;
+    use ged_engine::{AnalysisConfig, IncrementalValidator};
+
+    header(
+        "EXP-ANALYZE",
+        "static analysis of Σ: pruning redundant rules before deployment",
+    );
+    let w = redundant(20_000, 200);
+    let (report, d_analyze) = timed(|| analyze(&w.sigma));
+    println!("{report}");
+    println!(
+        "  analyze() on {} rule(s): {:>10} µs",
+        w.sigma.len(),
+        us(d_analyze)
+    );
+    // Every planted diagnostic, at its planted severity.
+    assert!(!report.has_errors(), "the sloppy Σ is still consistent");
+    let kind_of = |k: LintKind| {
+        report
+            .diagnostics
+            .iter()
+            .find(|d| d.kind == k)
+            .unwrap_or_else(|| panic!("planted {k:?} not flagged"))
+    };
+    for k in [
+        LintKind::ImpliedRule,
+        LintKind::DuplicateRule,
+        LintKind::ContradictoryPremises,
+        LintKind::EntailedConclusion,
+        LintKind::DuplicateDisjunct,
+    ] {
+        assert_eq!(kind_of(k).severity, Severity::Warning);
+    }
+    assert_eq!(
+        report.prunable.len(),
+        w.prunable,
+        "all four redundant rules proved prunable"
+    );
+
+    // Seeding: plain deployment vs analyzed-and-pruned, one worker each
+    // so the comparison is pure matcher work.
+    let live_names: Vec<String> = (0..w.live).map(|i| w.sigma[i].name().to_string()).collect();
+    let graph = w.graph;
+    let sigma = w.sigma;
+    let (v_plain, d_plain) = timed_median(3, || {
+        IncrementalValidator::with_threads(graph.clone(), sigma.clone(), 1)
+    });
+    let (v_pruned, d_pruned) = timed_median(3, || {
+        IncrementalValidator::with_analysis(
+            graph.clone(),
+            sigma.clone(),
+            AnalysisConfig {
+                prune: true,
+                threads: Some(1),
+            },
+        )
+        .expect("consistent Σ deploys")
+    });
+    let deploy = v_pruned.analysis().expect("analysis record attached");
+    assert_eq!(deploy.pruned.len(), w.prunable);
+    let seed_speedup = d_plain.as_secs_f64() / d_pruned.as_secs_f64().max(1e-12);
+    println!(
+        "  seeding, {} rule(s):         {:>10} µs",
+        sigma.len(),
+        us(d_plain)
+    );
+    println!(
+        "  seeding, pruned to {}:       {:>10} µs (speedup ×{seed_speedup:.2}, \
+         analysis inside the window)",
+        sigma.len() - w.prunable,
+        us(d_pruned)
+    );
+
+    // The delta path: a burst of status writes re-fires exactly the
+    // rules anchored on `status` — one live rule pruned-side, three
+    // rules (live + implied + duplicate) unpruned-side.
+    let deltas = attr_burst(&graph, sym("status"), 2_000, 4);
+    let run_burst = |seeded: &IncrementalValidator<_>| {
+        let mut reps: Vec<(ged_core::reason::ValidationReport, std::time::Duration)> = (0..3)
+            .map(|_| {
+                let mut v = seeded.clone();
+                let t0 = std::time::Instant::now();
+                for d in &deltas {
+                    v.apply(d);
+                }
+                (v.report(), t0.elapsed())
+            })
+            .collect();
+        reps.sort_by_key(|&(_, d)| d);
+        reps.swap_remove(1)
+    };
+    let (rep_plain, d_delta_plain) = run_burst(&v_plain);
+    let (rep_pruned, d_delta_pruned) = run_burst(&v_pruned);
+    // Soundness of pruning, checked on the post-burst state: the live
+    // rules' violation sets are untouched and the satisfaction verdict
+    // agrees (DESIGN.md §7).
+    for name in &live_names {
+        let count = |r: &ged_core::reason::ValidationReport| {
+            r.per_ged
+                .iter()
+                .find(|p| &p.name == name)
+                .map(|p| p.violation_count)
+                .unwrap_or_else(|| panic!("live rule {name} missing from report"))
+        };
+        assert_eq!(
+            count(&rep_plain),
+            count(&rep_pruned),
+            "live rule {name} unchanged by pruning"
+        );
+    }
+    assert_eq!(
+        rep_plain.satisfied(),
+        rep_pruned.satisfied(),
+        "pruning preserves the satisfaction verdict"
+    );
+    let delta_speedup = d_delta_plain.as_secs_f64() / d_delta_pruned.as_secs_f64().max(1e-12);
+    println!(
+        "  delta burst ({} deltas):   {:>10} µs unpruned, {:>10} µs pruned \
+         (speedup ×{delta_speedup:.2})",
+        deltas.len(),
+        us(d_delta_plain),
+        us(d_delta_pruned)
+    );
+    // Record the rows BEFORE the speedup bar: a flaky wall-clock miss
+    // must not destroy the other sections' BENCH_INC.json rows.
+    {
+        let mut rows = INC_ROWS.lock().unwrap();
+        rows.push(IncRow {
+            class: "analyze",
+            workload: "redundant-seed",
+            delta_size: 0,
+            incremental_us: d_pruned.as_secs_f64() * 1e6,
+            full_us: d_plain.as_secs_f64() * 1e6,
+            speedup: seed_speedup,
+        });
+        rows.push(IncRow {
+            class: "analyze",
+            workload: "redundant-delta",
+            delta_size: deltas.len(),
+            incremental_us: d_delta_pruned.as_secs_f64() * 1e6,
+            full_us: d_delta_plain.as_secs_f64() * 1e6,
+            speedup: delta_speedup,
+        });
+    }
+    write_bench_inc_json();
+    // Machine-checked: pruning strictly removes matcher work (4 of 7
+    // rules, 3 of them edge-bound), so even with the analyzer's chase
+    // running inside the pruned seeding window the pruned deployment
+    // must win. Holds on any host — both sides run one worker.
+    assert!(
+        seed_speedup > 1.0,
+        "pruned seeding must beat the unpruned pass, got ×{seed_speedup:.2}"
+    );
+}
+
 /// Flush every EXP-INC*/EXP-SEED row collected so far to
 /// `BENCH_INC.json`. Called at the end of the run, and *before* the
 /// host-sensitive speedup assertions of the EXP-INC-PAR / EXP-SEED
@@ -1176,7 +1347,7 @@ fn write_bench_inc_json() {
     // `par-delta` / `par-seed` classes are only meaningful relative to it
     // (a ×1 on host_cores=1 is expected, not a regression).
     let host_cores = std::thread::available_parallelism()
-        .map(|n| n.get())
+        .map(std::num::NonZero::get)
         .unwrap_or(1);
     let json_rows: Vec<String> = rows
         .iter()
@@ -1281,7 +1452,7 @@ fn exp_obs() {
             on_best = on_best.min(on.1);
             ratios.push(on.1.as_secs_f64() / off.1.as_secs_f64().max(1e-12));
         }
-        ratios.sort_by(|a, b| a.total_cmp(b));
+        ratios.sort_by(f64::total_cmp);
         (counts, off_best, on_best, ratios[ratios.len() / 2])
     };
     // The 5% bar is on engine overhead, not on whatever else a shared CI
@@ -1343,7 +1514,7 @@ fn exp_obs() {
     // Record BEFORE the overhead bar below, so a flaky wall-clock miss
     // still leaves the measurement on disk.
     let host_cores = std::thread::available_parallelism()
-        .map(|n| n.get())
+        .map(std::num::NonZero::get)
         .unwrap_or(1);
     let snapshot = v.metrics();
     let json = format!(
@@ -1385,7 +1556,7 @@ fn exp_parallel() {
     use ged_bench::par::violations_sharded;
     use ged_datagen::random::{plant_key_violations, random_graph, RandomGraphConfig};
     let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
+        .map(std::num::NonZero::get)
         .unwrap_or(1);
     let cfg = RandomGraphConfig {
         n_nodes: 5_000,

@@ -23,6 +23,7 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
 
 pub mod par;
 
@@ -34,6 +35,7 @@ use ged_pattern::{Pattern, Var};
 
 /// A validation workload: a random graph with planted key violations and
 /// a mixed rule set of the given pattern size.
+#[derive(Debug)]
 pub struct ValidationWorkload {
     /// The data graph.
     pub graph: Graph,

@@ -93,6 +93,42 @@ impl fmt::Display for ViolationKind {
     }
 }
 
+/// A normalized literal-level rendering of a constraint's logic for
+/// static analysis (`ged-analysis`): premise literals (conjunctive) and
+/// *conclusion options* — the conclusion is satisfied iff every literal
+/// of **some** option holds. A plain GED contributes one conjunctive
+/// option; a GED∨ one single-literal option per disjunct; an empty
+/// option list is `false` (the forbidding form).
+///
+/// Families whose literals go beyond plain equality (GDCs with `<`/`≤`/…
+/// predicates) expose only their equality fragment and clear [`exact`]:
+/// a lint that needs the premises *weakened* (contradiction detection —
+/// a contradictory subset stays contradictory under more premises) stays
+/// sound on an inexact view, while lints that compare full rule logic
+/// (duplicate rules, conclusion-entailed-by-premises) must require
+/// `exact` and are skipped otherwise.
+///
+/// [`exact`]: LiteralView::exact
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiteralView {
+    /// Premise literals `X` (conjunctive).
+    pub premises: Vec<Literal>,
+    /// Conclusion options: satisfied iff all literals of some option
+    /// hold. Empty list = `false`.
+    pub options: Vec<Vec<Literal>>,
+    /// Whether the view captures the rule's logic exactly, or only its
+    /// equality fragment (non-`=` literals dropped).
+    pub exact: bool,
+}
+
+impl LiteralView {
+    /// Every literal of the view — premises first, then each option's
+    /// literals in order. The unbound-variable lint walks this.
+    pub fn literals(&self) -> impl Iterator<Item = &Literal> {
+        self.premises.iter().chain(self.options.iter().flatten())
+    }
+}
+
 /// A dependency of the shape `Q[x̄](X → Y)` that the generic validation
 /// engines can serve: a pattern to enumerate matches of, and a per-match
 /// check. Implemented by [`Ged`] here and by `Gdc`, `DisjGed`, and
@@ -108,6 +144,15 @@ impl fmt::Display for ViolationKind {
 ///   match image or on global graph state;
 /// * `pattern` must be the constraint's entire topological requirement:
 ///   a match is any homomorphism of `pattern()` into `G`.
+///
+/// The three provided methods are the static-analysis surface consumed by
+/// `ged-analysis` (all defaulted to "opaque", so third-party families lint
+/// conservatively): [`literal_view`](Constraint::literal_view) feeds the
+/// structural linter, [`as_chase_ged`](Constraint::as_chase_ged) embeds
+/// the rule in the chase fragment for the `Sat(Σ)` gate and
+/// implication-based minimization, and
+/// [`premises_feasible`](Constraint::premises_feasible) lets families with
+/// richer literal languages run their own premise-contradiction check.
 pub trait Constraint: Send + Sync {
     /// Human-readable name used in reports.
     fn name(&self) -> &str;
@@ -123,6 +168,36 @@ pub trait Constraint: Send + Sync {
     /// Total size `|φ| = |Q| + |X| + |Y|` — the measure of the paper's
     /// complexity bounds.
     fn size(&self) -> usize;
+
+    /// The literal-level rendering of the rule's logic for the structural
+    /// linter, when the family can expose one. The default (`None`) marks
+    /// the rule opaque: literal-level lints skip it, pattern-level lints
+    /// (connectivity, wildcard cost) still apply.
+    fn literal_view(&self) -> Option<LiteralView> {
+        None
+    }
+
+    /// Render the rule as a plain [`Ged`] when it embeds in the paper's
+    /// chase fragment — equality literals only, conjunctive conclusion
+    /// (a single-disjunct or forbidding GED∨ qualifies; a GDC qualifies
+    /// iff every predicate is `=`). The semantic layer of `ged-analysis`
+    /// runs `Sat(Σ)` and implication over exactly these embeddings, so an
+    /// implementation must return a GED with the *same models*: for every
+    /// graph `G`, `G ⊨ self` iff `G ⊨ ged`. Default `None` (not
+    /// chase-eligible).
+    fn as_chase_ged(&self) -> Option<Ged> {
+        None
+    }
+
+    /// Can the premises `X` hold under *some* match in *some* graph?
+    /// `false` means the rule can never fire — a dead rule. The default
+    /// `true` is the conservative answer; families with predicate
+    /// literals (GDCs) override it with their order-solver feasibility
+    /// check. Literal-view-based constant-conflict detection runs
+    /// independently of this hook.
+    fn premises_feasible(&self) -> bool {
+        true
+    }
 }
 
 impl Constraint for Ged {
@@ -140,6 +215,18 @@ impl Constraint for Ged {
 
     fn size(&self) -> usize {
         Ged::size(self)
+    }
+
+    fn literal_view(&self) -> Option<LiteralView> {
+        Some(LiteralView {
+            premises: self.premises.clone(),
+            options: vec![self.conclusions.clone()],
+            exact: true,
+        })
+    }
+
+    fn as_chase_ged(&self) -> Option<Ged> {
+        Some(self.clone())
     }
 }
 
@@ -186,6 +273,18 @@ impl Constraint for AnyConstraint {
 
     fn size(&self) -> usize {
         self.0.size()
+    }
+
+    fn literal_view(&self) -> Option<LiteralView> {
+        self.0.literal_view()
+    }
+
+    fn as_chase_ged(&self) -> Option<Ged> {
+        self.0.as_chase_ged()
+    }
+
+    fn premises_feasible(&self) -> bool {
+        self.0.premises_feasible()
     }
 }
 

@@ -29,6 +29,7 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
 
 pub mod axiom;
 pub mod chase;

@@ -147,6 +147,7 @@ impl Literal {
 }
 
 /// Pretty-printer binding a literal to its pattern's variable names.
+#[derive(Debug)]
 pub struct LiteralDisplay<'a> {
     literal: &'a Literal,
     pattern: &'a Pattern,

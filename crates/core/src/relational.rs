@@ -43,7 +43,10 @@ impl Relation {
         }
         Relation {
             name: name.to_string(),
-            columns: columns.iter().map(|c| c.to_string()).collect(),
+            columns: columns
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
             rows,
         }
     }

@@ -21,6 +21,7 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
 
 pub mod coloring;
 pub mod disj;
@@ -29,5 +30,6 @@ pub mod kb;
 pub mod mixed;
 pub mod music;
 pub mod random;
+pub mod redundant;
 pub mod rules;
 pub mod social;

@@ -84,6 +84,7 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
 
 pub mod metrics;
 pub mod par;
@@ -95,7 +96,7 @@ pub use metrics::{EngineMetrics, MetricsSnapshot, Phase, PhaseSnapshot, RuleSnap
 pub use par::{validate_parallel, validate_rules_parallel, violations_sharded};
 pub use shard::SeedStats;
 pub use store::ViolationStore;
-pub use validator::{ApplyStats, IncrementalValidator};
+pub use validator::{AnalysisConfig, ApplyStats, DeployAnalysis, IncrementalValidator};
 
 // Re-export the delta vocabulary so engine users need only one import.
 pub use ged_graph::{Delta, DeltaEffect, DeltaSet};

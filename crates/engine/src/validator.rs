@@ -46,6 +46,7 @@
 use crate::metrics::{EngineMetrics, MetricsSnapshot, Phase, WorkerShard};
 use crate::shard::{self, SeedStats, SeedUnit};
 use crate::store::ViolationStore;
+use ged_analysis::{AnalysisReport, Pruned, RuleCost};
 use ged_core::constraint::{Constraint, ViolationKind};
 use ged_core::reason::ValidationReport;
 use ged_core::satisfy::{violations_recorded, Violation};
@@ -84,6 +85,43 @@ pub struct ApplyStats {
     pub created: Vec<NodeId>,
 }
 
+/// Configuration for [`IncrementalValidator::with_analysis`]: what to do
+/// with the static-analysis findings before seeding. Rejection of an
+/// Error-severity Σ (unsatisfiable chase fragment, unbound variables) is
+/// unconditional; this only tunes the rest.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Drop the rules the analyzer proved safe to prune (implied rules,
+    /// duplicates, rules that can never fire or never produce a
+    /// violation) before seeding. Default `true`.
+    pub prune: bool,
+    /// Worker count for the seeding pass and delta path; `None` uses all
+    /// available cores (as [`IncrementalValidator::new`]).
+    pub threads: Option<usize>,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> AnalysisConfig {
+        AnalysisConfig {
+            prune: true,
+            threads: None,
+        }
+    }
+}
+
+/// The record a [`with_analysis`](IncrementalValidator::with_analysis)
+/// validator keeps of its pre-deployment analysis: the full report plus
+/// exactly which rules were dropped (empty when pruning was disabled or
+/// nothing was prunable).
+#[derive(Debug, Clone)]
+pub struct DeployAnalysis {
+    /// The analyzer's findings for the *original* Σ (indices in
+    /// [`Pruned`] refer to it, not to the pruned rule vector).
+    pub report: AnalysisReport,
+    /// Rules dropped before seeding, in original Σ order.
+    pub pruned: Vec<Pruned>,
+}
+
 /// Maintains the violation set of `G ⊨ Σ` under a stream of updates, for
 /// any constraint family of the unified layer (`C` = `Ged`, `Gdc`,
 /// `DisjGed`, …).
@@ -101,6 +139,7 @@ pub struct IncrementalValidator<C: Constraint> {
     threads: usize,
     seed_stats: SeedStats,
     metrics: EngineMetrics,
+    analysis: Option<Arc<DeployAnalysis>>,
 }
 
 impl<C: Constraint> IncrementalValidator<C> {
@@ -110,7 +149,7 @@ impl<C: Constraint> IncrementalValidator<C> {
     /// available cores.
     pub fn new(graph: Graph, sigma: Vec<C>) -> IncrementalValidator<C> {
         let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
+            .map(std::num::NonZero::get)
             .unwrap_or(1);
         IncrementalValidator::with_threads(graph, sigma, threads)
     }
@@ -216,7 +255,87 @@ impl<C: Constraint> IncrementalValidator<C> {
             threads,
             seed_stats,
             metrics,
+            analysis: None,
         }
+    }
+
+    /// Build a validator behind the pre-deployment static-analysis gate
+    /// of `ged-analysis` (DESIGN.md §7): `analyze(&sigma)` runs first,
+    /// and
+    ///
+    /// * an Error-severity Σ (unsatisfiable chase fragment, literals with
+    ///   unbound variables) is **rejected** — `Err` carries the full
+    ///   [`AnalysisReport`] so the caller can print exactly why;
+    /// * with [`AnalysisConfig::prune`] (the default), rules the analyzer
+    ///   proved safe to drop — implied by the rest of the chase fragment,
+    ///   duplicates, rules that can never fire or never produce a
+    ///   violation — are removed *before* the seeding pass, so neither
+    ///   seeding nor the delta path ever pays for them;
+    /// * the validator records what happened: [`analysis`] returns the
+    ///   report plus the pruned-rule list.
+    ///
+    /// Pruning never changes whether the maintained graph satisfies Σ,
+    /// and the kept rules' violation sets are bit-for-bit what the
+    /// unpruned validator maintains for them (soundness argument in
+    /// DESIGN.md §7; asserted by the EXP-ANALYZE harness section and the
+    /// randomized soundness test).
+    ///
+    /// [`analysis`]: IncrementalValidator::analysis
+    pub fn with_analysis(
+        graph: Graph,
+        sigma: Vec<C>,
+        config: AnalysisConfig,
+    ) -> Result<IncrementalValidator<C>, AnalysisReport> {
+        let report = ged_analysis::analyze(&sigma);
+        if report.has_errors() {
+            return Err(report);
+        }
+        let (sigma, pruned) = if config.prune && !report.prunable.is_empty() {
+            let drop: Vec<usize> = report.prunable.iter().map(|p| p.index).collect();
+            let kept = sigma
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| !drop.contains(i))
+                .map(|(_, c)| c)
+                .collect();
+            (kept, report.prunable.clone())
+        } else {
+            (sigma, Vec::new())
+        };
+        let threads = config.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZero::get)
+                .unwrap_or(1)
+        });
+        let mut v = IncrementalValidator::with_threads(graph, sigma, threads);
+        v.analysis = Some(Arc::new(DeployAnalysis { report, pruned }));
+        Ok(v)
+    }
+
+    /// The pre-deployment analysis record, when this validator was built
+    /// via [`with_analysis`](IncrementalValidator::with_analysis);
+    /// `None` for the plain constructors.
+    pub fn analysis(&self) -> Option<&DeployAnalysis> {
+        self.analysis.as_deref()
+    }
+
+    /// Re-run the static analyzer over the *deployed* Σ, cross-referencing
+    /// the live per-rule metrics attribution: wildcard-label notes on
+    /// rules that dominate the measured match attempts are upgraded to
+    /// warnings. The lint-side of the observability loop — deploy, let the
+    /// metrics accumulate, re-analyze.
+    pub fn analyze_current(&self) -> AnalysisReport {
+        let costs: Vec<RuleCost> = self
+            .metrics
+            .snapshot()
+            .rules
+            .iter()
+            .map(|r| RuleCost {
+                name: r.name.clone(),
+                match_attempts: r.match_attempts,
+            })
+            .collect();
+        ged_analysis::analyze_with_costs(&self.sigma, &costs)
     }
 
     /// How the construction-time seeding pass split across workers —

@@ -8,7 +8,7 @@
 //! satisfiability/implication jump to Σᵖ₂ / Πᵖ₂ (Theorem 9) — see
 //! [`crate::reason`].
 
-use ged_core::constraint::{AnyConstraint, Constraint, ViolationKind};
+use ged_core::constraint::{AnyConstraint, Constraint, LiteralView, ViolationKind};
 use ged_core::ged::Ged;
 use ged_core::literal::Literal;
 use ged_core::satisfy::literal_holds;
@@ -92,6 +92,34 @@ impl Constraint for DisjGed {
 
     fn size(&self) -> usize {
         DisjGed::size(self)
+    }
+
+    fn literal_view(&self) -> Option<LiteralView> {
+        Some(LiteralView {
+            premises: self.premises.clone(),
+            options: self.conclusions.iter().map(|l| vec![l.clone()]).collect(),
+            exact: true,
+        })
+    }
+
+    fn as_chase_ged(&self) -> Option<Ged> {
+        match self.conclusions.len() {
+            // A forbidding GED∨ (`Y = false`) is the forbidding GED: both
+            // are violated exactly when `X` holds at a match.
+            0 if self.pattern.var_count() > 0 => Some(Ged::forbidding(
+                &self.name,
+                self.pattern.clone(),
+                self.premises.clone(),
+            )),
+            // A single-disjunct `⋁Y` is the conjunctive `Y`.
+            1 => Some(Ged::new(
+                &self.name,
+                self.pattern.clone(),
+                self.premises.clone(),
+                self.conclusions.clone(),
+            )),
+            _ => None,
+        }
     }
 }
 

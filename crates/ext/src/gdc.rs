@@ -9,7 +9,7 @@
 //! enumerate-matches engine as GEDs.
 
 use crate::predicate::Pred;
-use ged_core::constraint::{AnyConstraint, Constraint, ViolationKind};
+use ged_core::constraint::{AnyConstraint, Constraint, LiteralView, ViolationKind};
 use ged_core::ged::Ged;
 use ged_core::literal::Literal;
 use ged_graph::{Graph, NodeId, Symbol, Value};
@@ -107,6 +107,31 @@ impl GdcLiteral {
                 _ => false,
             },
             GdcLiteral::Id { x, y } => m[x.idx()] == m[y.idx()],
+        }
+    }
+
+    /// The inverse of [`GdcLiteral::from_ged`], where it exists: render
+    /// the literal back as a plain (equality) GED literal. `None` for the
+    /// non-`=` predicates — the callers (the static-analysis literal view
+    /// and the chase embedding) then know the rule leaves the equality
+    /// fragment.
+    pub fn as_eq_literal(&self) -> Option<Literal> {
+        match self {
+            GdcLiteral::Const {
+                var,
+                attr,
+                pred: Pred::Eq,
+                value,
+            } => Some(Literal::constant(*var, *attr, value.clone())),
+            GdcLiteral::Vars {
+                lvar,
+                lattr,
+                pred: Pred::Eq,
+                rvar,
+                rattr,
+            } => Some(Literal::vars(*lvar, *lattr, *rvar, *rattr)),
+            GdcLiteral::Id { x, y } => Some(Literal::id(*x, *y)),
+            _ => None,
         }
     }
 
@@ -254,6 +279,84 @@ impl Constraint for Gdc {
     fn size(&self) -> usize {
         Gdc::size(self)
     }
+
+    fn literal_view(&self) -> Option<LiteralView> {
+        let mut exact = true;
+        let convert = |lits: &[GdcLiteral], exact: &mut bool| -> Vec<Literal> {
+            lits.iter()
+                .filter_map(|l| {
+                    let eq = l.as_eq_literal();
+                    *exact &= eq.is_some();
+                    eq
+                })
+                .collect()
+        };
+        let premises = convert(&self.premises, &mut exact);
+        let options = vec![convert(&self.conclusions, &mut exact)];
+        Some(LiteralView {
+            premises,
+            options,
+            exact,
+        })
+    }
+
+    fn as_chase_ged(&self) -> Option<Ged> {
+        let eq = |lits: &[GdcLiteral]| -> Option<Vec<Literal>> {
+            lits.iter().map(GdcLiteral::as_eq_literal).collect()
+        };
+        let premises = eq(&self.premises)?;
+        let conclusions = eq(&self.conclusions)?;
+        let in_scope = premises
+            .iter()
+            .chain(&conclusions)
+            .all(|l| l.in_scope(&self.pattern));
+        in_scope.then(|| Ged::new(&self.name, self.pattern.clone(), premises, conclusions))
+    }
+
+    fn premises_feasible(&self) -> bool {
+        premises_feasible(&self.premises)
+    }
+}
+
+/// The GDC-specific premise-contradiction check behind
+/// [`Constraint::premises_feasible`]: can the premise predicates hold
+/// jointly under *some* assignment of values to the attribute slots they
+/// mention? Decided by the dense-order oracle of [`crate::solver`] over
+/// one symbolic slot per `(variable, attribute)` pair — so it catches
+/// range contradictions (`x.a < 5 ∧ x.a > 10`) that the equality-only
+/// literal view cannot express. `id` literals are ignored (satisfiable by
+/// choosing the match), which keeps the answer conservative: `false` is
+/// only returned for genuinely dead rules.
+pub fn premises_feasible(premises: &[GdcLiteral]) -> bool {
+    use crate::solver::{consistent, Constraint as Atom, Term};
+    let atoms: Vec<Atom> = premises
+        .iter()
+        .filter_map(|l| match l {
+            GdcLiteral::Const {
+                var,
+                attr,
+                pred,
+                value,
+            } => Some(Atom::new(
+                Term::Slot(NodeId(var.0), *attr),
+                *pred,
+                Term::Cst(value.clone()),
+            )),
+            GdcLiteral::Vars {
+                lvar,
+                lattr,
+                pred,
+                rvar,
+                rattr,
+            } => Some(Atom::new(
+                Term::Slot(NodeId(lvar.0), *lattr),
+                *pred,
+                Term::Slot(NodeId(rvar.0), *rattr),
+            )),
+            GdcLiteral::Id { .. } => None,
+        })
+        .collect();
+    consistent(&atoms)
 }
 
 /// GDCs slot into heterogeneous rule sets: `Vec<AnyConstraint>` can mix

@@ -25,6 +25,7 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
 
 pub mod disj;
 pub mod domain;
@@ -34,7 +35,10 @@ pub mod reason;
 pub mod solver;
 
 pub use disj::{disj_satisfies, disj_satisfies_all, disj_violations, DisjGed, DisjViolation};
-pub use gdc::{gdc_satisfies, gdc_satisfies_all, gdc_violations, Gdc, GdcLiteral, GdcViolation};
+pub use gdc::{
+    gdc_satisfies, gdc_satisfies_all, gdc_violations, premises_feasible, Gdc, GdcLiteral,
+    GdcViolation,
+};
 pub use predicate::Pred;
 pub use reason::{disj_implies, disj_satisfiable, gdc_implies, gdc_satisfiable, NormConstraint};
 

@@ -23,7 +23,9 @@
 use crate::disj::DisjGed;
 use crate::gdc::{Gdc, GdcLiteral};
 use crate::solver::{consistent, Constraint, Term};
-use ged_core::constraint::{AnyConstraint, Constraint as ConstraintDep, ViolationKind};
+use ged_core::constraint::{
+    AnyConstraint, Constraint as ConstraintDep, LiteralView, ViolationKind,
+};
 use ged_graph::{Graph, NodeId, Symbol};
 use ged_pattern::{MatchOptions, Matcher, Pattern};
 use std::collections::BTreeSet;
@@ -106,6 +108,55 @@ impl ConstraintDep for NormConstraint {
 
     fn size(&self) -> usize {
         self.pattern.size() + self.premises.len() + self.options.iter().map(Vec::len).sum::<usize>()
+    }
+
+    fn literal_view(&self) -> Option<LiteralView> {
+        let mut exact = true;
+        let convert = |lits: &[GdcLiteral], exact: &mut bool| -> Vec<ged_core::literal::Literal> {
+            lits.iter()
+                .filter_map(|l| {
+                    let eq = l.as_eq_literal();
+                    *exact &= eq.is_some();
+                    eq
+                })
+                .collect()
+        };
+        let premises = convert(&self.premises, &mut exact);
+        let options = self
+            .options
+            .iter()
+            .map(|opt| convert(opt, &mut exact))
+            .collect();
+        Some(LiteralView {
+            premises,
+            options,
+            exact,
+        })
+    }
+
+    fn as_chase_ged(&self) -> Option<ged_core::ged::Ged> {
+        use ged_core::ged::Ged;
+        let eq = |lits: &[GdcLiteral]| -> Option<Vec<ged_core::literal::Literal>> {
+            lits.iter().map(GdcLiteral::as_eq_literal).collect()
+        };
+        let premises = eq(&self.premises)?;
+        let conclusions = match self.options.len() {
+            0 if self.pattern.var_count() > 0 => {
+                let g = Ged::forbidding("f", self.pattern.clone(), vec![]);
+                g.conclusions
+            }
+            1 => eq(&self.options[0])?,
+            _ => return None,
+        };
+        let in_scope = premises
+            .iter()
+            .chain(&conclusions)
+            .all(|l| l.in_scope(&self.pattern));
+        in_scope.then(|| Ged::new(&self.name, self.pattern.clone(), premises, conclusions))
+    }
+
+    fn premises_feasible(&self) -> bool {
+        crate::gdc::premises_feasible(&self.premises)
     }
 }
 

@@ -389,7 +389,11 @@ mod tests {
         .into();
         assert_eq!(ds.len(), 2);
         assert!(!ds.is_empty());
-        let labels: Vec<String> = ds.deltas().iter().map(|d| d.to_string()).collect();
+        let labels: Vec<String> = ds
+            .deltas()
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         assert_eq!(labels, vec!["+node(t)", "+node(u)"]);
     }
 }

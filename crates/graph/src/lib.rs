@@ -24,6 +24,7 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
 
 pub mod builder;
 pub mod delta;

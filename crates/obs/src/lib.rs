@@ -28,6 +28,7 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
 
 pub mod metric;
 pub mod recorder;

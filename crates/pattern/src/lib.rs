@@ -15,6 +15,7 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
 
 pub mod dsl;
 pub mod fragments;

@@ -78,6 +78,7 @@ pub type Match = Vec<NodeId>;
 /// it defaults to [`NoopRecorder`], whose empty methods monomorphize away,
 /// so un-observed matching compiles to the engine it always was. Observed
 /// enumeration goes through [`Matcher::with_recorder`].
+#[derive(Debug)]
 pub struct Matcher<'a, R: MatchRecorder = NoopRecorder> {
     pattern: &'a Pattern,
     graph: &'a Graph,

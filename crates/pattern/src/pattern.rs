@@ -83,7 +83,7 @@ impl Pattern {
 
     /// Add edge `src -[label]-> dst` (label `"_"` for wildcard).
     pub fn edge(&mut self, src: Var, label: &str, dst: Var) {
-        self.edge_sym(src, Symbol::new(label), dst)
+        self.edge_sym(src, Symbol::new(label), dst);
     }
 
     /// As [`Pattern::edge`] with an already-interned label.

@@ -64,7 +64,11 @@ fn main() {
     println!("\nsample witnesses:");
     for name in ["φ1", "φ2", "φ3", "φ4"] {
         if let Some(v) = report.violations.iter().find(|v| v.ged_name == name) {
-            let nodes: Vec<String> = v.assignment.iter().map(|n| n.to_string()).collect();
+            let nodes: Vec<String> = v
+                .assignment
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect();
             println!(
                 "  {name}: match {:?}, failed literals: {}",
                 nodes,

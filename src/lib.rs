@@ -10,7 +10,9 @@
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
 
+pub use ged_analysis as analysis;
 pub use ged_core as core;
 pub use ged_datagen as datagen;
 pub use ged_engine as engine;
@@ -22,13 +24,17 @@ pub use ged_pattern as pattern;
 /// Everything needed to define graphs, patterns and constraints (GEDs,
 /// GDCs, GED∨s) and run the reasoning procedures.
 pub mod prelude {
+    pub use ged_analysis::{
+        analyze, analyze_with_costs, AnalysisReport, Diagnostic, LintKind, Pruned, RuleCost,
+        Severity,
+    };
     pub use ged_core::axiom::completeness::prove;
     pub use ged_core::axiom::derived::{
         prove_augmentation, prove_reflexivity, prove_transitivity, ProofBuilder,
     };
     pub use ged_core::chase::{chase, chase_from, chase_random, ChaseResult};
     pub use ged_core::constraint::{
-        constraint_sigma_size, AnyConstraint, Constraint, ViolationKind,
+        constraint_sigma_size, AnyConstraint, Constraint, LiteralView, ViolationKind,
     };
     pub use ged_core::ged::{Ged, GedClass};
     pub use ged_core::literal::Literal;
@@ -37,8 +43,8 @@ pub mod prelude {
     };
     pub use ged_core::satisfy::{is_model, satisfies, satisfies_all, violations};
     pub use ged_engine::{
-        validate_parallel, validate_rules_parallel, violations_sharded, ApplyStats,
-        IncrementalValidator, MetricsSnapshot, Phase, SeedStats, ViolationStore,
+        validate_parallel, validate_rules_parallel, violations_sharded, AnalysisConfig, ApplyStats,
+        DeployAnalysis, IncrementalValidator, MetricsSnapshot, Phase, SeedStats, ViolationStore,
     };
     pub use ged_ext::{
         disj_implies, disj_satisfiable, disj_satisfies, gdc_implies, gdc_satisfiable,

@@ -1,0 +1,258 @@
+//! The static analyzer as a deployment gate, tier 1:
+//!
+//! * every datagen workload Σ — the paper's Example 3 rules, the
+//!   coloring reductions, the GDC / GED∨ / mixed families, and the
+//!   random harness sigmas — passes `analyze` with no Error-severity
+//!   diagnostics (the workloads are sloppy-free by construction);
+//! * the `redundant` workload's planted diagnostics are all found at
+//!   their planted severities and exactly the planted rules prune;
+//! * randomized soundness of minimization: `validate(g, minimize(Σ))`
+//!   agrees with `validate(g, Σ)` violation-for-violation on the kept
+//!   rules and verdict-for-verdict overall, across the incremental
+//!   harness's random graphs;
+//! * `IncrementalValidator::with_analysis` rejects an inconsistent Σ,
+//!   prunes the redundant rules, and records what it dropped.
+
+use ged_datagen::coloring::{validation_gfdx, validation_gkey, ColoringInstance};
+use ged_datagen::disj::{kb_disj, social_disj};
+use ged_datagen::gdc::{kb_gdcs, social_gdcs};
+use ged_datagen::kb::KbConfig;
+use ged_datagen::mixed::social_mixed;
+use ged_datagen::random::{plant_key_violations, random_graph, random_sigma, RandomGraphConfig};
+use ged_datagen::redundant::redundant;
+use ged_datagen::rules;
+use ged_datagen::social::SocialConfig;
+use ged_repro::prelude::*;
+use std::collections::BTreeSet;
+
+/// Assert a workload Σ deploys clean: the analyzer may note stylistic
+/// facts (disconnected GKey patterns, wildcard labels) but must not
+/// error.
+fn assert_no_errors<C: Constraint>(what: &str, sigma: &[C]) {
+    let report = analyze(sigma);
+    assert!(
+        !report.has_errors(),
+        "workload {what} should analyze clean, got:\n{report}"
+    );
+}
+
+#[test]
+fn every_datagen_workload_sigma_analyzes_without_errors() {
+    let scfg = SocialConfig {
+        n_honest: 30,
+        ..Default::default()
+    };
+    let kcfg = KbConfig::default();
+
+    // Example 3 rule sets (social / kb / music).
+    assert_no_errors(
+        "example-3",
+        &[
+            rules::phi1(),
+            rules::phi2(),
+            rules::phi3(),
+            rules::phi4(),
+            rules::phi5(3, "c"),
+        ],
+    );
+    assert_no_errors("kb", &rules::kb_rules());
+    assert_no_errors("music-keys", &rules::music_keys());
+
+    // Coloring reductions (disconnected GKey patterns are a Note by
+    // design — the disjoint copy construction).
+    for inst in [ColoringInstance::complete(3), ColoringInstance::cycle(5)] {
+        assert_no_errors("coloring-gfdx", &[validation_gfdx(&inst).1]);
+        assert_no_errors("coloring-gkey", &[validation_gkey(&inst).1]);
+    }
+
+    // GDC, GED∨, and mixed families.
+    assert_no_errors("social-gdc", &social_gdcs(&scfg, 3, 11).sigma);
+    assert_no_errors("kb-gdc", &kb_gdcs(&kcfg, 3, 12).sigma);
+    assert_no_errors("social-disj", &social_disj(&scfg, 2, 2, 13).sigma);
+    assert_no_errors("kb-disj", &kb_disj(&kcfg, 2, 14).sigma);
+    assert_no_errors("social-mixed", &social_mixed(&scfg, 3, 15).sigma);
+
+    // The random harness Σ (planted key + random rules).
+    let cfg = RandomGraphConfig {
+        n_nodes: 80,
+        n_edges: 240,
+        seed: 16,
+        ..Default::default()
+    };
+    let mut g = random_graph(&cfg);
+    let mut sigma = vec![plant_key_violations(&mut g, "entity", 5)];
+    sigma.extend(random_sigma(4, 3, &cfg));
+    assert_no_errors("random", &sigma);
+}
+
+#[test]
+fn redundant_workload_diagnostics_are_all_found() {
+    let w = redundant(120, 10);
+    let report = analyze(&w.sigma);
+    assert!(!report.has_errors(), "{report}");
+    for kind in [
+        LintKind::ImpliedRule,
+        LintKind::DuplicateRule,
+        LintKind::ContradictoryPremises,
+        LintKind::EntailedConclusion,
+        LintKind::DuplicateDisjunct,
+    ] {
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.kind == kind)
+            .unwrap_or_else(|| panic!("planted {kind:?} not flagged:\n{report}"));
+        assert_eq!(d.severity, Severity::Warning, "{kind:?}");
+    }
+    let pruned: BTreeSet<usize> = report.prunable.iter().map(|p| p.index).collect();
+    assert_eq!(
+        pruned,
+        (w.live..w.live + w.prunable).collect(),
+        "exactly the planted redundant rules prune:\n{report}"
+    );
+}
+
+/// Normalise a report to a comparable set of witnesses (same idiom as
+/// the incremental harness).
+fn witness_set(
+    report: &ged_repro::core::ValidationReport,
+) -> BTreeSet<(String, Vec<NodeId>, String)> {
+    report
+        .violations
+        .iter()
+        .map(|v| {
+            (
+                v.ged_name.clone(),
+                v.assignment.clone(),
+                format!("{:?}", v.kind),
+            )
+        })
+        .collect()
+}
+
+/// Randomized soundness of implication-based minimization: over the
+/// harness's random graphs, dropping implied rules never changes the
+/// satisfaction verdict, and the kept rules' violation sets are
+/// untouched (DESIGN.md §7's argument, machine-checked).
+#[test]
+fn minimize_preserves_validation_on_random_graphs() {
+    for seed in [3u64, 17, 42] {
+        let cfg = RandomGraphConfig {
+            n_nodes: 60,
+            n_edges: 180,
+            seed,
+            ..Default::default()
+        };
+        let mut g = random_graph(&cfg);
+        let key = plant_key_violations(&mut g, "entity", 4);
+        let mut sigma = vec![key.clone()];
+        sigma.extend(random_sigma(3, 3, &cfg));
+        // Plant redundancy so minimization has something to prove: a
+        // renamed copy of the key (implied by it, and vice versa).
+        sigma.push(Ged::new(
+            "planted-implied-copy",
+            key.pattern.clone(),
+            key.premises.clone(),
+            key.conclusions.clone(),
+        ));
+        let min = minimize(&sigma);
+        assert!(
+            min.len() < sigma.len(),
+            "seed {seed}: the planted implied copy must be minimized away"
+        );
+        let kept: BTreeSet<String> = min.iter().map(|g| g.name.clone()).collect();
+
+        let full = validate(&g, &sigma, None);
+        let minimized = validate(&g, &min, None);
+        assert_eq!(
+            full.satisfied(),
+            minimized.satisfied(),
+            "seed {seed}: minimization changed the satisfaction verdict"
+        );
+        let full_kept: BTreeSet<_> = witness_set(&full)
+            .into_iter()
+            .filter(|(name, _, _)| kept.contains(name))
+            .collect();
+        assert_eq!(
+            full_kept,
+            witness_set(&minimized),
+            "seed {seed}: a kept rule's violation set changed under minimization"
+        );
+    }
+}
+
+#[test]
+fn with_analysis_prunes_and_preserves_live_violations() {
+    let w = redundant(120, 10);
+    let plain = IncrementalValidator::with_threads(w.graph.clone(), w.sigma.clone(), 1);
+    let v = IncrementalValidator::with_analysis(
+        w.graph,
+        w.sigma,
+        AnalysisConfig {
+            prune: true,
+            threads: Some(1),
+        },
+    )
+    .expect("the sloppy-but-consistent Σ deploys");
+    let deploy = v.analysis().expect("analysis record attached");
+    assert_eq!(deploy.pruned.len(), w.prunable);
+    assert_eq!(v.sigma().len(), w.live);
+    assert_eq!(v.is_satisfied(), plain.is_satisfied());
+    // Live rules keep their violation sets; the pruned duplicates' echo
+    // witnesses are gone.
+    let pruned_report = v.report();
+    let plain_report = plain.report();
+    for live in pruned_report.per_ged.iter() {
+        let full = plain_report
+            .per_ged
+            .iter()
+            .find(|p| p.name == live.name)
+            .expect("live rule present unpruned");
+        assert_eq!(live.violation_count, full.violation_count, "{}", live.name);
+    }
+    assert_eq!(v.violation_count(), w.planted);
+}
+
+#[test]
+fn with_analysis_can_keep_everything() {
+    let w = redundant(60, 2);
+    let v = IncrementalValidator::with_analysis(
+        w.graph,
+        w.sigma,
+        AnalysisConfig {
+            prune: false,
+            threads: Some(1),
+        },
+    )
+    .expect("deploys unpruned");
+    assert_eq!(v.sigma().len(), w.live + w.prunable);
+    let deploy = v.analysis().expect("analysis record attached");
+    assert!(deploy.pruned.is_empty());
+    assert_eq!(deploy.report.prunable.len(), w.prunable);
+}
+
+#[test]
+fn with_analysis_rejects_an_inconsistent_sigma() {
+    let q = parse_pattern("user(x)").unwrap();
+    let free = Ged::new(
+        "plan:free",
+        q.clone(),
+        vec![],
+        vec![Literal::constant(Var(0), sym("plan"), "free")],
+    );
+    let pro = Ged::new(
+        "plan:pro",
+        q,
+        vec![],
+        vec![Literal::constant(Var(0), sym("plan"), "pro")],
+    );
+    let mut g = Graph::new();
+    g.add_node(sym("user"));
+    let report = IncrementalValidator::with_analysis(g, vec![free, pro], AnalysisConfig::default())
+        .expect_err("an unsatisfiable Σ must not deploy");
+    assert!(report.has_errors());
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.kind == LintKind::UnsatisfiableSigma && d.severity == Severity::Error));
+}

@@ -105,5 +105,5 @@ fn xid_shape() {
     let q = q2();
     let lits = xid(&q);
     assert_eq!(lits.len(), 2);
-    assert!(lits.iter().all(|l| l.is_id()));
+    assert!(lits.iter().all(ged_core::Literal::is_id));
 }

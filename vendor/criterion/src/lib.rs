@@ -193,7 +193,7 @@ mod tests {
             b.iter(|| {
                 runs += 1;
                 x * 2
-            })
+            });
         });
         group.finish();
         assert!(runs >= 3, "warmup + samples ran");
@@ -206,7 +206,7 @@ mod tests {
         c.bench_function("single", |b| {
             b.iter(|| {
                 ran = true;
-            })
+            });
         });
         assert!(ran);
     }

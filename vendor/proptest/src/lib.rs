@@ -422,7 +422,7 @@ mod tests {
     #[test]
     fn failures_report_case() {
         let result = std::panic::catch_unwind(|| {
-            crate::run_cases("always_fails", |_| Err(crate::TestCaseError::fail("boom")))
+            crate::run_cases("always_fails", |_| Err(crate::TestCaseError::fail("boom")));
         });
         let msg = *result.unwrap_err().downcast::<String>().unwrap();
         assert!(msg.contains("always_fails"), "{msg}");
