@@ -54,6 +54,7 @@ fn bench_heuristics(c: &mut Criterion) {
             semantics: Semantics::Homomorphism,
             smart_order: smart,
             adjacency_candidates: adj,
+            ..MatchOptions::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, opts| {
             b.iter(|| count(&q, &g, *opts));

@@ -56,6 +56,7 @@ fn main() {
         ("EXP-EX1", exp_ex1_3),
         ("EXP-EX9", exp_ex9_10),
         ("EXP-ABL", exp_abl_match),
+        ("EXP-MATCH", exp_match),
         ("EXP-PAR", exp_parallel),
         ("EXP-INC", exp_inc),
         ("EXP-INC-GDC", exp_inc_gdc),
@@ -698,10 +699,144 @@ fn exp_abl_match() {
             semantics: ged_pattern::Semantics::Homomorphism,
             smart_order: smart,
             adjacency_candidates: adj,
+            ..ged_pattern::MatchOptions::default()
         };
         let (n, d) = timed_median(3, || ged_pattern::count(&q, &g, opts));
         println!("  {name:<18} {n:>6} matches in {:>10} µs", us(d));
     }
+}
+
+/// Enumerate every match of `c`'s pattern exactly as the engine's hot
+/// loop does — homomorphism semantics, the constraint's constant premise
+/// literals installed as candidate pre-filters, one reusable
+/// [`MatchScratch`](ged_pattern::MatchScratch) — with the CSR
+/// label-partitioned adjacency view switched by `labeled`. Returns the
+/// match count; attempts and pre-filter rejects land in `recorder`.
+fn count_engine_matches<C: ged_core::constraint::Constraint, R: ged_pattern::MatchRecorder>(
+    g: &ged_graph::Graph,
+    c: &C,
+    labeled: bool,
+    recorder: &R,
+) -> usize {
+    let opts = ged_pattern::MatchOptions {
+        labeled_adjacency: labeled,
+        ..ged_pattern::MatchOptions::homomorphism()
+    };
+    let mut matcher = ged_pattern::Matcher::with_recorder(c.pattern(), g, opts, recorder);
+    if let Some(view) = c.literal_view() {
+        for lit in &view.premises {
+            if let Literal::Const { var, attr, value } = lit {
+                matcher.require_attr(*var, *attr, value.clone());
+            }
+        }
+    }
+    let mut scratch = ged_pattern::MatchScratch::new();
+    let mut n = 0usize;
+    matcher.for_each_in(&mut scratch, |_| {
+        n += 1;
+        std::ops::ControlFlow::Continue(())
+    });
+    n
+}
+
+/// One EXP-MATCH row: instrument a full enumeration for candidate
+/// attempts / pre-filter rejects, then time the same enumeration with the
+/// CSR label-partitioned view on and off. The row lands in
+/// `BENCH_INC.json` with class `match`; there `delta_size` is the
+/// candidate-attempt count, `incremental_us` the CSR-view enumeration
+/// time, `full_us` the flat-adjacency one, and `speedup` their ratio.
+fn run_match_row<C: ged_core::constraint::Constraint>(
+    name: &'static str,
+    g: &ged_graph::Graph,
+    c: &C,
+) {
+    let rec = ged_pattern::CellRecorder::new();
+    let matches = count_engine_matches(g, c, true, &rec);
+    let attempts = rec.attempts();
+    let rejects = rec.prefilter_rejects();
+    let (n_csr, d_csr) = timed_median(3, || {
+        count_engine_matches(g, c, true, &ged_pattern::NoopRecorder)
+    });
+    let (n_flat, d_flat) = timed_median(3, || {
+        count_engine_matches(g, c, false, &ged_pattern::NoopRecorder)
+    });
+    assert_eq!(n_csr, matches, "instrumentation changes no outcome");
+    assert_eq!(
+        n_csr, n_flat,
+        "the CSR view enumerates the same matches on {name}"
+    );
+    let reject_pct = if attempts == 0 {
+        0.0
+    } else {
+        100.0 * rejects as f64 / attempts as f64
+    };
+    let ratio = d_flat.as_secs_f64() / d_csr.as_secs_f64().max(1e-12);
+    println!(
+        "{:<12} {:>9} {:>8} ({:>4.1}%) {:>8} | {:>10} {:>10} | {:>7.2}x",
+        name,
+        attempts,
+        rejects,
+        reject_pct,
+        matches,
+        us(d_csr),
+        us(d_flat),
+        ratio
+    );
+    INC_ROWS.lock().unwrap().push(IncRow {
+        class: "match",
+        workload: name,
+        delta_size: attempts as usize,
+        incremental_us: d_csr.as_secs_f64() * 1e6,
+        full_us: d_flat.as_secs_f64() * 1e6,
+        speedup: ratio,
+    });
+}
+
+/// EXP-MATCH — raw match-loop mechanics on the workload patterns,
+/// engine-configured (homomorphism, constant-premise pre-filters, scratch
+/// reuse): per workload the candidate-attempt count, the pre-filter
+/// reject rate, and the enumeration wall-clock with the CSR
+/// label-partitioned adjacency view on vs off. Same match counts both
+/// ways is asserted, so the section doubles as an equivalence check on
+/// real workload patterns.
+fn exp_match() {
+    header(
+        "EXP-MATCH",
+        "match-loop mechanics: candidates, pre-filter rejects, CSR view on/off",
+    );
+    println!(
+        "{:<12} {:>9} {:>16} {:>8} | {:>10} {:>10} | {:>8}",
+        "workload", "attempts", "rejects (rate)", "matches", "csr µs", "flat µs", "flat/csr"
+    );
+
+    let scfg = SocialConfig {
+        n_honest: 150,
+        ..Default::default()
+    };
+    let sinst = gen_social(&scfg);
+    run_match_row("social", &sinst.graph, &rules::phi5(scfg.k, &scfg.keyword));
+
+    let w = validation_workload(1_000, 3, 2, 7);
+    let key = w.sigma.first().expect("the workload carries a key rule");
+    run_match_row("random-1k", &w.graph, key);
+
+    let mcfg = MusicConfig {
+        n_clean: 150,
+        n_dupes: 15,
+        ..Default::default()
+    };
+    let minst = gen_music(&mcfg);
+    let music_key = rules::music_keys()
+        .into_iter()
+        .next()
+        .expect("music Σ is non-empty");
+    run_match_row("music-key", &minst.graph, &music_key);
+
+    // φ1's premises pin both variables' `type` attribute, so this row is
+    // carried almost entirely by the constant-premise pre-filter:
+    // wrong-type candidates are rejected before any adjacency work.
+    let kinst = gen_kb(&KbConfig::default());
+    run_match_row("kb-phi1", &kinst.graph, &rules::phi1());
 }
 
 /// One measured incremental-vs-full row, accumulated across the EXP-INC*
@@ -901,9 +1036,10 @@ fn exp_inc_disj() {
 }
 
 /// EXP-INC-MIXED — a *heterogeneous* Σ (plain GEDs + a dense-order GDC +
-/// a disjunctive GED∨, wrapped in `AnyConstraint`) served by ONE
-/// incremental validator instance: the same incremental-vs-full
-/// comparison, rows landing in BENCH_INC.json with class `mixed`.
+/// a disjunctive GED∨, carried by the closed `SigmaConstraint` enum so
+/// per-match checks dispatch statically) served by ONE incremental
+/// validator instance: the same incremental-vs-full comparison, rows
+/// landing in BENCH_INC.json with class `mixed`.
 fn exp_inc_mixed() {
     use ged_datagen::mixed::social_mixed;
 

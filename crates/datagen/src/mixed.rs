@@ -1,18 +1,20 @@
 //! Mixed-family Σ workloads: one heterogeneous rule set holding plain
-//! GEDs, a dense-order GDC, and a disjunctive GED∨ — wrapped in
-//! [`AnyConstraint`] so a single `IncrementalValidator<AnyConstraint>`
-//! (or any generic engine) serves all of them at once, with a controlled
-//! number of planted violations per family.
+//! GEDs, a dense-order GDC, and a disjunctive GED∨ — carried by the
+//! closed [`SigmaConstraint`] enum so a single
+//! `IncrementalValidator<SigmaConstraint>` (or any generic engine) serves
+//! all of them at once with statically dispatched `check` calls, with a
+//! controlled number of planted violations per family. Convert members
+//! `.into()` [`AnyConstraint`](ged_core::constraint::AnyConstraint) when
+//! an open rule set is needed.
 //!
 //! Every rule's pattern is O(|V| + |E|) to enumerate (single-variable or
 //! edge-bound), so the workload scales to the 10k-node acceptance runs
 //! that revalidate from scratch at every step.
 
 use crate::social::SocialConfig;
-use ged_core::constraint::AnyConstraint;
 use ged_core::ged::Ged;
 use ged_core::literal::Literal;
-use ged_ext::{DisjGed, Gdc, GdcLiteral, Pred};
+use ged_ext::{DisjGed, Gdc, GdcLiteral, Pred, SigmaConstraint};
 use ged_graph::{sym, Graph};
 use ged_pattern::{parse_pattern, Var};
 use rand::rngs::StdRng;
@@ -24,14 +26,16 @@ use rand::{Rng, SeedableRng};
 pub struct MixedWorkload {
     /// The graph.
     pub graph: Graph,
-    /// The heterogeneous rule set (GED + GDC + GED∨, one `Vec`).
-    pub sigma: Vec<AnyConstraint>,
+    /// The heterogeneous rule set (GED + GDC + GED∨, one `Vec` of the
+    /// closed enum — statically dispatched).
+    pub sigma: Vec<SigmaConstraint>,
     /// Violating witnesses planted by construction (`plants` per rule,
     /// four rules: `4 * plants` total).
     pub planted: usize,
 }
 
-/// The social-network mixed workload. Four rules, one `Vec<AnyConstraint>`:
+/// The social-network mixed workload. Four rules, one
+/// `Vec<SigmaConstraint>`:
 ///
 /// * **GED** `verified⇒real`: `account(x)(x.verified = 1 → x.is_fake = 0)`
 ///   — conjunctive conclusion, [`Conclusions`] violation kind;
@@ -93,7 +97,7 @@ pub fn social_mixed(cfg: &SocialConfig, plants: usize, seed: u64) -> MixedWorklo
     let node = parse_pattern("account(x)").unwrap();
     let edge = parse_pattern("account(x) -[follow]-> account(y)").unwrap();
     let x = Var(0);
-    let sigma: Vec<AnyConstraint> = vec![
+    let sigma: Vec<SigmaConstraint> = vec![
         Ged::new(
             "verified⇒real",
             node.clone(),

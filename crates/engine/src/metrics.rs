@@ -93,6 +93,7 @@ impl Phase {
 struct RuleMetrics {
     name: String,
     attempts: Counter,
+    prefilter_rejects: Counter,
     found: Counter,
     violations: Counter,
     seed_ns: Counter,
@@ -115,6 +116,7 @@ pub(crate) struct WorkerShard {
 #[derive(Debug, Clone, Default)]
 struct LocalRule {
     attempts: u64,
+    prefilter_rejects: u64,
     found: u64,
     violations: u64,
     ns: u64,
@@ -134,6 +136,7 @@ impl WorkerShard {
         &mut self,
         ci: usize,
         attempts: u64,
+        prefilter_rejects: u64,
         found: u64,
         violations: u64,
         ns: u64,
@@ -141,6 +144,7 @@ impl WorkerShard {
         debug_assert!(self.enabled, "shards of a disabled pass stay empty");
         let r = &mut self.rules[ci];
         r.attempts += attempts;
+        r.prefilter_rejects += prefilter_rejects;
         r.found += found;
         r.violations += violations;
         r.ns += ns;
@@ -195,6 +199,7 @@ impl EngineMetrics {
                 .map(|c| RuleMetrics {
                     name: c.name().to_string(),
                     attempts: Counter::new(),
+                    prefilter_rejects: Counter::new(),
                     found: Counter::new(),
                     violations: Counter::new(),
                     seed_ns: Counter::new(),
@@ -250,6 +255,7 @@ impl EngineMetrics {
                 continue;
             }
             rule.attempts.add(local.attempts);
+            rule.prefilter_rejects.add(local.prefilter_rejects);
             rule.found.add(local.found);
             rule.violations.add(local.violations);
             match phase {
@@ -325,6 +331,7 @@ impl EngineMetrics {
                 .map(|r| RuleSnapshot {
                     name: r.name.clone(),
                     match_attempts: r.attempts.get(),
+                    prefilter_rejects: r.prefilter_rejects.get(),
                     matches_found: r.found.get(),
                     violations_found: r.violations.get(),
                     seed_ns: r.seed_ns.get(),
@@ -394,6 +401,12 @@ pub struct RuleSnapshot {
     pub name: String,
     /// Candidate nodes the matcher considered for this rule.
     pub match_attempts: u64,
+    /// Candidates the matcher's degree/attribute pre-filters rejected
+    /// before recursion — a subset of [`match_attempts`], so the ratio is
+    /// the fraction of the candidate stream the filters killed.
+    ///
+    /// [`match_attempts`]: RuleSnapshot::match_attempts
+    pub prefilter_rejects: u64,
     /// Complete matches enumerated for this rule.
     pub matches_found: u64,
     /// Violating matches found (seeding and re-enumeration combined).
@@ -451,6 +464,12 @@ impl MetricsSnapshot {
         self.rules.iter().map(|r| r.matches_found).sum()
     }
 
+    /// Total candidates killed by the matcher's pre-filters across all
+    /// rules (a subset of [`MetricsSnapshot::match_attempts`]).
+    pub fn prefilter_rejects(&self) -> u64 {
+        self.rules.iter().map(|r| r.prefilter_rejects).sum()
+    }
+
     /// The snapshot's latency histogram for `phase`, if timed.
     pub fn phase(&self, phase: Phase) -> Option<&HistogramSnapshot> {
         self.phases
@@ -502,10 +521,12 @@ impl MetricsSnapshot {
         s.push_str("  \"rules\": [\n");
         for (i, r) in self.rules.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"name\": \"{}\", \"match_attempts\": {}, \"matches_found\": {}, \
+                "    {{\"name\": \"{}\", \"match_attempts\": {}, \"prefilter_rejects\": {}, \
+                 \"matches_found\": {}, \
                  \"violations_found\": {}, \"seed_ns\": {}, \"reenum_ns\": {}}}{}\n",
                 json_escape(&r.name),
                 r.match_attempts,
+                r.prefilter_rejects,
                 r.matches_found,
                 r.violations_found,
                 r.seed_ns,
@@ -582,8 +603,9 @@ impl std::fmt::Display for MetricsSnapshot {
         )?;
         writeln!(
             f,
-            "  matching: {} attempt(s), {} match(es) across {} rule(s)",
+            "  matching: {} attempt(s) ({} pre-filtered), {} match(es) across {} rule(s)",
             self.match_attempts(),
+            self.prefilter_rejects(),
             self.matches_found(),
             self.rules.len()
         )?;
@@ -619,9 +641,11 @@ impl std::fmt::Display for MetricsSnapshot {
         for r in &self.rules {
             writeln!(
                 f,
-                "    {:<22} attempts={:<10} found={:<8} violations={:<8} seed={:<9} reenum={}",
+                "    {:<22} attempts={:<10} rejects={:<8} found={:<8} violations={:<8} \
+                 seed={:<9} reenum={}",
                 r.name,
                 r.match_attempts,
+                r.prefilter_rejects,
                 r.matches_found,
                 r.violations_found,
                 fmt_ns(r.seed_ns),

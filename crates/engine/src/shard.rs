@@ -14,7 +14,7 @@
 //!   triple — one chunk of one anchor's seed list, enumerated by one
 //!   worker with [`Matcher::for_each_anchored`] (the delta path adds its
 //!   exclusion closure on top);
-//! * `run_units` is the shared work queue: workers pull units off an
+//! * `run_units_with` is the shared work queue: workers pull units off an
 //!   atomic counter, so a Σ whose cost is concentrated in a single
 //!   wildcard rule still spreads across all cores — at *seed*
 //!   granularity, not rule granularity;
@@ -34,8 +34,9 @@
 //! [`Matcher::for_each_anchored`]: ged_pattern::Matcher::for_each_anchored
 
 use ged_core::constraint::{Constraint, ViolationKind};
-use ged_graph::{Graph, NodeId};
-use ged_pattern::{MatchOptions, MatchRecorder, Matcher, Var};
+use ged_core::literal::Literal;
+use ged_graph::{Graph, NodeId, Symbol, Value};
+use ged_pattern::{MatchOptions, MatchRecorder, MatchScratch, Matcher, Var};
 use std::ops::{ControlFlow, Range};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -109,8 +110,49 @@ pub(crate) fn push_pivot_units<C: Constraint>(
         .vars()
         .min_by_key(|&v| g.label_candidate_count(pattern.label(v)))
         .unwrap_or(Var(0));
-    let candidates = Arc::new(g.label_candidates(pattern.label(pivot)));
+    let candidates = Arc::new(g.label_candidates(pattern.label(pivot)).into_owned());
     push_units(units, ci, pivot, candidates, threads);
+}
+
+/// The constant-valued premise literals of a constraint, extracted once
+/// per rule so the per-unit hot path never touches
+/// [`literal_view`](Constraint::literal_view) (which clones the rule's
+/// literal vectors on every call). Installed into each unit's matcher by
+/// [`require_premise_attrs`] as candidate pre-filters. Sound for
+/// violation enumeration: `check` reports a violation only when every
+/// premise holds at the match, so a match failing a constant premise can
+/// never witness one. The [`LiteralView`] contract guarantees the view's
+/// premises are implied by the real ones even for inexact views (a GDC
+/// exposes its equality fragment — a subset), so this never drops a
+/// violating match.
+///
+/// [`LiteralView`]: ged_core::constraint::LiteralView
+pub(crate) type PremiseAttrs = Vec<(Var, Symbol, Value)>;
+
+/// Extract one rule's [`PremiseAttrs`]; see the type's docs for the
+/// soundness argument.
+pub(crate) fn premise_attrs<C: Constraint>(c: &C) -> PremiseAttrs {
+    let Some(view) = c.literal_view() else {
+        return Vec::new();
+    };
+    view.premises
+        .iter()
+        .filter_map(|lit| match lit {
+            Literal::Const { var, attr, value } => Some((*var, *attr, value.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Install one rule's precomputed [`premise_attrs`] into a matcher as
+/// candidate pre-filters — the per-unit half of the split.
+pub(crate) fn require_premise_attrs<R: MatchRecorder>(
+    attrs: &[(Var, Symbol, Value)],
+    matcher: &mut Matcher<'_, R>,
+) {
+    for (var, attr, value) in attrs {
+        matcher.require_attr(*var, *attr, value.clone());
+    }
 }
 
 /// Enumerate one unit's matches and report the violating ones: anchor the
@@ -119,6 +161,11 @@ pub(crate) fn push_pivot_units<C: Constraint>(
 /// the seeding full pass and the match-level pivot split; the delta path
 /// layers its exclusion closure on top and so keeps its own enumerator.
 ///
+/// The matcher writes candidate sets into `scratch` — the per-worker
+/// buffer threaded through `run_units_with` — so steady-state enumeration
+/// allocates nothing; constant premises become matcher-level pre-filters
+/// via [`require_premise_attrs`].
+///
 /// The matcher hot loop reports to `recorder`; instrumented callers pass
 /// a per-unit `CellRecorder`, unobserved ones the no-op recorder (which
 /// compiles the hook away).
@@ -126,11 +173,15 @@ pub(crate) fn check_unit<C: Constraint, R: MatchRecorder>(
     g: &Graph,
     c: &C,
     unit: &SeedUnit,
+    attrs: &[(Var, Symbol, Value)],
+    scratch: &mut MatchScratch,
     recorder: &R,
     mut sink: impl FnMut(&[NodeId], ViolationKind),
 ) {
-    let matcher = Matcher::with_recorder(c.pattern(), g, MatchOptions::homomorphism(), recorder);
-    matcher.for_each_anchored(unit.anchor, unit.seed_slice(), |m| {
+    let mut matcher =
+        Matcher::with_recorder(c.pattern(), g, MatchOptions::homomorphism(), recorder);
+    require_premise_attrs(attrs, &mut matcher);
+    matcher.for_each_anchored_in(scratch, unit.anchor, unit.seed_slice(), |m| {
         if let Some(kind) = c.check(g, m) {
             sink(m, kind);
         }
@@ -191,35 +242,20 @@ impl std::fmt::Display for SeedStats {
 /// worker order. Returns the combined output plus the per-worker unit
 /// counts ([`SeedStats::per_worker`]-shaped).
 ///
+/// A per-worker **scratch shard** `W` threads through the work closure:
+/// each worker gets its own `W` from `new_shard`, every unit it runs may
+/// mutate it without synchronization, and the shards come back (in worker
+/// order) alongside the outputs for the caller to merge. The engine uses
+/// this two ways: instrumentation tallies match attempts and unit
+/// latencies into plain-`u64` [`WorkerShard`](crate::metrics::WorkerShard)s folded into the shared
+/// atomic registry after the join, and the match loop reuses one
+/// [`MatchScratch`] candidate buffer per worker — the hot loop neither
+/// touches a shared cache line nor allocates per unit.
+///
 /// `threads == 1` (or ≤ 1 unit) runs inline on the caller's thread — no
 /// scoped-thread overhead for small work. If workers panic, every handle
 /// is joined before the first panic payload is resumed
 /// ([`join_all_propagating`]).
-pub(crate) fn run_units<T: Send>(
-    threads: usize,
-    units: &[SeedUnit],
-    work: impl Fn(&SeedUnit, &mut Vec<T>) + Sync,
-) -> (Vec<T>, Vec<usize>) {
-    let (all, per_worker, _shards) = run_units_with(
-        threads,
-        units,
-        || (),
-        |u, out, ()| {
-            work(u, out);
-        },
-    );
-    (all, per_worker)
-}
-
-/// As [`run_units`], threading a per-worker **scratch shard** `W` through
-/// the work closure: each worker gets its own `W` from `new_shard`, every
-/// unit it runs may mutate it without synchronization, and the shards
-/// come back (in worker order) alongside the outputs for the caller to
-/// merge. This is how the engine's instrumentation aggregates per-rule
-/// cost attribution *on read*: workers tally match attempts and unit
-/// latencies into plain-`u64` shards, and the coordinator folds them into
-/// the shared atomic registry after the join — the hot loop never touches
-/// a shared cache line.
 pub(crate) fn run_units_with<T: Send, W: Send>(
     threads: usize,
     units: &[SeedUnit],
@@ -273,7 +309,7 @@ pub(crate) fn run_units_with<T: Send, W: Send>(
 /// items are the constraints of Σ in the engine's use — this is what the
 /// order-preserving per-rule reports of
 /// [`validate_parallel`](crate::par::validate_parallel) need; everything
-/// that can reorder freely goes through [`run_units`] instead. The
+/// that can reorder freely goes through [`run_units_with`] instead. The
 /// sequential path avoids any thread overhead for `threads == 1` or a
 /// single item.
 ///
@@ -372,9 +408,14 @@ mod tests {
     fn run_units_visits_every_unit_exactly_once_and_counts_workers() {
         let units = unit_list(&[(0, 10), (1, 6), (2, 1)], 4);
         for threads in [1usize, 2, 4, 9] {
-            let (out, per_worker) = run_units(threads, &units, |u, out: &mut Vec<usize>| {
-                out.push(u.ci + u.range.start);
-            });
+            let (out, per_worker, _) = run_units_with(
+                threads,
+                &units,
+                || (),
+                |u, out: &mut Vec<usize>, ()| {
+                    out.push(u.ci + u.range.start);
+                },
+            );
             assert_eq!(out.len(), units.len(), "{threads} workers");
             assert_eq!(
                 per_worker.iter().sum::<usize>(),
@@ -467,11 +508,16 @@ mod tests {
     fn run_units_propagates_the_original_worker_panic_too() {
         let units = unit_list(&[(0, 16)], 4);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_units(4, &units, |u, _out: &mut Vec<usize>| {
-                if u.range.start > 0 {
-                    panic!("unit worker failed at {}", u.range.start);
-                }
-            })
+            run_units_with(
+                4,
+                &units,
+                || (),
+                |u, _out: &mut Vec<usize>, ()| {
+                    if u.range.start > 0 {
+                        panic!("unit worker failed at {}", u.range.start);
+                    }
+                },
+            )
         }));
         let payload = result.expect_err("a worker panicked");
         let msg = payload

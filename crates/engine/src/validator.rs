@@ -52,7 +52,7 @@ use ged_core::reason::ValidationReport;
 use ged_core::satisfy::{violations_recorded, Violation};
 use ged_graph::{Delta, DeltaEffect, DeltaSet, Graph, NodeId, Symbol};
 use ged_obs::{CellRecorder, MatchRecorder, NOOP};
-use ged_pattern::{Match, MatchOptions, Matcher};
+use ged_pattern::{Match, MatchOptions, MatchScratch, Matcher};
 use std::collections::HashSet;
 use std::ops::ControlFlow;
 use std::sync::Arc;
@@ -140,6 +140,10 @@ pub struct IncrementalValidator<C: Constraint> {
     seed_stats: SeedStats,
     metrics: EngineMetrics,
     analysis: Option<Arc<DeployAnalysis>>,
+    /// Per-rule constant-premise pre-filters ([`shard::premise_attrs`]),
+    /// extracted once at construction so the delta path never re-reads a
+    /// rule's literal view.
+    rule_attrs: Vec<shard::PremiseAttrs>,
 }
 
 impl<C: Constraint> IncrementalValidator<C> {
@@ -208,34 +212,55 @@ impl<C: Constraint> IncrementalValidator<C> {
         }
         let n_rules = sigma.len();
         let enabled = metrics.is_enabled();
+        // Constant-premise pre-filters, extracted once per rule — the
+        // per-unit hot path installs them without re-reading the rule's
+        // literal view.
+        let rule_attrs: Vec<shard::PremiseAttrs> = sigma.iter().map(shard::premise_attrs).collect();
         let (batches, per_worker, shards) = shard::run_units_with(
             threads,
             &units,
-            || WorkerShard::new(n_rules, enabled),
-            |unit, out, ws| {
+            || (WorkerShard::new(n_rules, enabled), MatchScratch::new()),
+            |unit, out, (ws, scratch)| {
                 if ws.enabled {
                     let recorder = CellRecorder::new();
                     let t0 = Instant::now();
                     let before = out.len();
-                    shard::check_unit(&graph, &sigma[unit.ci], unit, &recorder, |m, kind| {
-                        out.push((unit.ci, m.to_vec(), kind));
-                    });
+                    shard::check_unit(
+                        &graph,
+                        &sigma[unit.ci],
+                        unit,
+                        &rule_attrs[unit.ci],
+                        scratch,
+                        &recorder,
+                        |m, kind| {
+                            out.push((unit.ci, m.to_vec(), kind));
+                        },
+                    );
                     ws.add_unit(
                         unit.ci,
                         recorder.attempts(),
+                        recorder.prefilter_rejects(),
                         recorder.matches(),
                         (out.len() - before) as u64,
                         t0.elapsed().as_nanos() as u64,
                     );
                 } else {
-                    shard::check_unit(&graph, &sigma[unit.ci], unit, &NOOP, |m, kind| {
-                        out.push((unit.ci, m.to_vec(), kind));
-                    });
+                    shard::check_unit(
+                        &graph,
+                        &sigma[unit.ci],
+                        unit,
+                        &rule_attrs[unit.ci],
+                        scratch,
+                        &NOOP,
+                        |m, kind| {
+                            out.push((unit.ci, m.to_vec(), kind));
+                        },
+                    );
                 }
             },
         );
         metrics.merge_pass(&inline, Phase::Seeding);
-        for ws in &shards {
+        for (ws, _) in &shards {
             metrics.merge_pass(ws, Phase::Seeding);
         }
         for (ci, m, kind) in found.into_iter().chain(batches) {
@@ -256,6 +281,7 @@ impl<C: Constraint> IncrementalValidator<C> {
             seed_stats,
             metrics,
             analysis: None,
+            rule_attrs,
         }
     }
 
@@ -526,6 +552,7 @@ impl<C: Constraint> IncrementalValidator<C> {
             let area = affected_area(
                 graph,
                 &self.sigma,
+                &self.rule_attrs,
                 &footprint,
                 &touched,
                 threads,
@@ -595,6 +622,7 @@ fn seed_inline<C: Constraint>(
         shard.add_unit(
             ci,
             recorder.attempts(),
+            recorder.prefilter_rejects(),
             recorder.matches(),
             vs.len() as u64,
             t0.elapsed().as_nanos() as u64,
@@ -625,16 +653,19 @@ fn seed_inline<C: Constraint>(
 /// enumerated and then discarded.
 fn affected_unit<C: Constraint, R: MatchRecorder>(
     g: &Graph,
-    c: &C,
+    (c, attrs): (&C, &shard::PremiseAttrs),
     unit: &shard::SeedUnit,
     touched: &HashSet<NodeId>,
+    scratch: &mut MatchScratch,
     recorder: &R,
     out: &mut Vec<(usize, Match, ViolationKind)>,
 ) {
     let anchor = unit.anchor;
     let pattern = c.pattern();
-    let matcher = Matcher::with_recorder(pattern, g, MatchOptions::homomorphism(), recorder);
-    matcher.for_each_anchored_excluding(
+    let mut matcher = Matcher::with_recorder(pattern, g, MatchOptions::homomorphism(), recorder);
+    shard::require_premise_attrs(attrs, &mut matcher);
+    matcher.for_each_anchored_excluding_in(
+        scratch,
         anchor,
         unit.seed_slice(),
         &|u, n| u.idx() < anchor.idx() && touched.contains(&n),
@@ -666,7 +697,7 @@ fn affected_unit<C: Constraint, R: MatchRecorder>(
 /// Work units are the `(constraint, anchor variable, seed-range)` triples
 /// of [`shard`]: each anchor's label-compatible seed list is
 /// split into up to `threads` chunks, and workers pull units off the
-/// shared queue ([`shard::run_units`]), so a single wildcard rule with a
+/// shared queue ([`shard::run_units_with`]), so a single wildcard rule with a
 /// large affected area fans out across all cores instead of recomputing
 /// single-threaded per rule (rule-level sharding — the PR 1 design — kept
 /// whole-rule re-enumerations on one worker). The seeding full pass of
@@ -677,6 +708,7 @@ fn affected_unit<C: Constraint, R: MatchRecorder>(
 fn affected_area<C: Constraint>(
     g: &Graph,
     sigma: &[C],
+    rule_attrs: &[shard::PremiseAttrs],
     footprint: &[NodeId],
     touched: &HashSet<NodeId>,
     threads: usize,
@@ -726,27 +758,44 @@ fn affected_area<C: Constraint>(
     let (all, _per_worker, shards) = shard::run_units_with(
         threads,
         &units,
-        || WorkerShard::new(n_rules, enabled),
-        |unit, out, ws| {
+        || (WorkerShard::new(n_rules, enabled), MatchScratch::new()),
+        |unit, out, (ws, scratch)| {
             if ws.enabled {
                 let recorder = CellRecorder::new();
                 let t0 = Instant::now();
                 let before = out.len();
-                affected_unit(g, &sigma[unit.ci], unit, touched, &recorder, out);
+                affected_unit(
+                    g,
+                    (&sigma[unit.ci], &rule_attrs[unit.ci]),
+                    unit,
+                    touched,
+                    scratch,
+                    &recorder,
+                    out,
+                );
                 ws.add_unit(
                     unit.ci,
                     recorder.attempts(),
+                    recorder.prefilter_rejects(),
                     recorder.matches(),
                     (out.len() - before) as u64,
                     t0.elapsed().as_nanos() as u64,
                 );
             } else {
-                affected_unit(g, &sigma[unit.ci], unit, touched, &NOOP, out);
+                affected_unit(
+                    g,
+                    (&sigma[unit.ci], &rule_attrs[unit.ci]),
+                    unit,
+                    touched,
+                    scratch,
+                    &NOOP,
+                    out,
+                );
             }
         },
     );
     metrics.finish(Phase::Reenumerate, t);
-    for ws in &shards {
+    for (ws, _) in &shards {
         metrics.merge_pass(ws, Phase::Reenumerate);
     }
     all
@@ -1181,11 +1230,26 @@ mod tests {
             v
         };
         let metrics = EngineMetrics::for_sigma(&sigma);
-        let sequential = canon(affected_area(&g, &sigma, &footprint, &touched, 1, &metrics));
+        let rule_attrs: Vec<_> = sigma.iter().map(shard::premise_attrs).collect();
+        let sequential = canon(affected_area(
+            &g,
+            &sigma,
+            &rule_attrs,
+            &footprint,
+            &touched,
+            1,
+            &metrics,
+        ));
         assert!(!sequential.is_empty(), "the workload has affected matches");
         for threads in [2, 4, 7] {
             let sharded = canon(affected_area(
-                &g, &sigma, &footprint, &touched, threads, &metrics,
+                &g,
+                &sigma,
+                &rule_attrs,
+                &footprint,
+                &touched,
+                threads,
+                &metrics,
             ));
             assert_eq!(sharded, sequential, "{threads} workers");
         }

@@ -14,7 +14,11 @@
 //!   are correspondingly exponential); validation stays coNP, same engine
 //!   shape as GEDs;
 //! * [`solver`] — the dense-order constraint oracle under the search;
-//! * [`domain`] — the Example 9/10 domain-constraint helpers.
+//! * [`domain`] — the Example 9/10 domain-constraint helpers;
+//! * [`sigma`] — the closed [`SigmaConstraint`] union over the four
+//!   concrete families, statically dispatched so the engine's per-match
+//!   `check` call devirtualises (keep `AnyConstraint` for families
+//!   outside the paper's four).
 //!
 //! Both families are first-class members of the unified constraint layer
 //! (`ged_core::constraint`), and this crate supplies the `From<Gdc>` /
@@ -32,6 +36,7 @@ pub mod domain;
 pub mod gdc;
 pub mod predicate;
 pub mod reason;
+pub mod sigma;
 pub mod solver;
 
 pub use disj::{disj_satisfies, disj_satisfies_all, disj_violations, DisjGed, DisjViolation};
@@ -41,6 +46,7 @@ pub use gdc::{
 };
 pub use predicate::Pred;
 pub use reason::{disj_implies, disj_satisfiable, gdc_implies, gdc_satisfiable, NormConstraint};
+pub use sigma::SigmaConstraint;
 
 #[cfg(test)]
 mod mixed_sigma {

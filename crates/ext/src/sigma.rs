@@ -1,0 +1,222 @@
+//! The closed constraint union: every family of the paper in one enum,
+//! dispatched statically.
+//!
+//! [`AnyConstraint`] erases the
+//! family behind `Arc<dyn Constraint>`, which keeps Σ open to third-party
+//! families but pays a virtual call per `check` — once per enumerated
+//! match, in the engine's innermost loop. [`SigmaConstraint`] is the
+//! closed counterpart over exactly the paper's families {GED, GDC, GED∨,
+//! normalized}: `check`/`pattern` compile to a jump table over an
+//! inline-visible `match`, the optimizer sees the concrete callee at
+//! every arm, and a homogeneous `Vec<SigmaConstraint>` stores the rules
+//! inline instead of behind shared pointers. Rule sets that need a
+//! family outside the paper's four keep using `AnyConstraint` — the enum
+//! converts into it losslessly ([`From<SigmaConstraint>`]), so the two
+//! compose: closed where the engine is hot, open at the edges.
+
+use crate::disj::DisjGed;
+use crate::gdc::Gdc;
+use crate::reason::NormConstraint;
+use ged_core::constraint::{AnyConstraint, Constraint, LiteralView, ViolationKind};
+use ged_core::ged::Ged;
+use ged_graph::{Graph, NodeId};
+use ged_pattern::Pattern;
+
+/// A constraint of one of the paper's four concrete families, dispatched
+/// by `match` instead of vtable. Implements [`Constraint`], so every
+/// generic engine (`IncrementalValidator`, the from-scratch enumerators,
+/// the static analyzer) takes a `Vec<SigmaConstraint>` as-is — same API
+/// as [`AnyConstraint`], devirtualised hot path.
+#[derive(Debug, Clone)]
+pub enum SigmaConstraint {
+    /// A plain GED `Q[x̄](X → Y)` (Section 2).
+    Ged(Ged),
+    /// A graph denial constraint with built-in predicates (Section 7.1).
+    Gdc(Gdc),
+    /// A GED with disjunctive conclusions (Section 7.2).
+    DisjGed(DisjGed),
+    /// A normalized premises-plus-conclusion-options constraint.
+    Norm(NormConstraint),
+}
+
+/// One delegating arm per family; every [`Constraint`] method funnels
+/// through this, so adding a family is a one-line change per method site
+/// caught by exhaustiveness checking.
+macro_rules! dispatch {
+    ($self:expr, $c:ident => $body:expr) => {
+        match $self {
+            SigmaConstraint::Ged($c) => $body,
+            SigmaConstraint::Gdc($c) => $body,
+            SigmaConstraint::DisjGed($c) => $body,
+            SigmaConstraint::Norm($c) => $body,
+        }
+    };
+}
+
+impl Constraint for SigmaConstraint {
+    fn name(&self) -> &str {
+        dispatch!(self, c => c.name())
+    }
+
+    fn pattern(&self) -> &Pattern {
+        dispatch!(self, c => c.pattern())
+    }
+
+    fn check(&self, g: &Graph, m: &[NodeId]) -> Option<ViolationKind> {
+        dispatch!(self, c => c.check(g, m))
+    }
+
+    fn size(&self) -> usize {
+        dispatch!(self, c => Constraint::size(c))
+    }
+
+    fn literal_view(&self) -> Option<LiteralView> {
+        dispatch!(self, c => c.literal_view())
+    }
+
+    fn as_chase_ged(&self) -> Option<Ged> {
+        dispatch!(self, c => c.as_chase_ged())
+    }
+
+    fn premises_feasible(&self) -> bool {
+        dispatch!(self, c => Constraint::premises_feasible(c))
+    }
+}
+
+impl From<Ged> for SigmaConstraint {
+    fn from(c: Ged) -> SigmaConstraint {
+        SigmaConstraint::Ged(c)
+    }
+}
+
+impl From<Gdc> for SigmaConstraint {
+    fn from(c: Gdc) -> SigmaConstraint {
+        SigmaConstraint::Gdc(c)
+    }
+}
+
+impl From<DisjGed> for SigmaConstraint {
+    fn from(c: DisjGed) -> SigmaConstraint {
+        SigmaConstraint::DisjGed(c)
+    }
+}
+
+impl From<NormConstraint> for SigmaConstraint {
+    fn from(c: NormConstraint) -> SigmaConstraint {
+        SigmaConstraint::Norm(c)
+    }
+}
+
+/// The enum embeds in the open wrapper losslessly: mixed Σ code that
+/// needs `AnyConstraint` (e.g. to add a family outside the paper's four)
+/// can absorb devirtualised rules without reconstructing them.
+impl From<SigmaConstraint> for AnyConstraint {
+    fn from(c: SigmaConstraint) -> AnyConstraint {
+        AnyConstraint::new(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gdc::GdcLiteral;
+    use crate::predicate::Pred;
+    use ged_core::constraint::constraint_sigma_size;
+    use ged_core::literal::Literal;
+    use ged_graph::{sym, GraphBuilder};
+    use ged_pattern::{parse_pattern, Var};
+
+    fn q() -> Pattern {
+        parse_pattern("τ(x)").unwrap()
+    }
+
+    fn four_families() -> Vec<SigmaConstraint> {
+        vec![
+            Ged::new(
+                "flagged⇒reviewed",
+                q(),
+                vec![Literal::constant(Var(0), sym("flagged"), 1)],
+                vec![Literal::constant(Var(0), sym("reviewed"), 1)],
+            )
+            .into(),
+            Gdc::forbidding(
+                "score≤10",
+                q(),
+                vec![GdcLiteral::constant(Var(0), sym("score"), Pred::Gt, 10)],
+            )
+            .into(),
+            DisjGed::new(
+                "state∈{on,off}",
+                q(),
+                vec![],
+                vec![
+                    Literal::constant(Var(0), sym("state"), "on"),
+                    Literal::constant(Var(0), sym("state"), "off"),
+                ],
+            )
+            .into(),
+            NormConstraint::from_gdc(&Gdc::forbidding(
+                "state≠limbo",
+                q(),
+                vec![GdcLiteral::constant(
+                    Var(0),
+                    sym("state"),
+                    Pred::Eq,
+                    "limbo",
+                )],
+            ))
+            .into(),
+        ]
+    }
+
+    /// Every delegated method agrees with the erased wrapper over the
+    /// same underlying rule — the enum is a dispatch change, not a
+    /// semantic one.
+    #[test]
+    fn enum_and_any_agree_on_every_method() {
+        let mut b = GraphBuilder::new();
+        b.node("n", "τ");
+        b.attr("n", "flagged", 1);
+        b.attr("n", "score", 99);
+        b.attr("n", "state", "limbo");
+        let (g, names) = b.build_with_names();
+        let m = vec![names["n"]];
+        for c in four_families() {
+            let any: AnyConstraint = c.clone().into();
+            assert_eq!(c.name(), any.name());
+            assert_eq!(Constraint::size(&c), any.size());
+            assert_eq!(c.pattern().var_count(), any.pattern().var_count());
+            assert_eq!(c.check(&g, &m), any.check(&g, &m));
+            assert_eq!(c.literal_view(), any.literal_view());
+            assert_eq!(
+                c.as_chase_ged().map(|g| g.name),
+                any.as_chase_ged().map(|g| g.name)
+            );
+            assert_eq!(Constraint::premises_feasible(&c), any.premises_feasible());
+        }
+    }
+
+    /// A homogeneous `Vec<SigmaConstraint>` drives the generic validator
+    /// and classifies each family with its native violation kind.
+    #[test]
+    fn one_sigma_vec_serves_all_four_families() {
+        let sigma = four_families();
+        assert_eq!(constraint_sigma_size(&sigma), {
+            let any: Vec<AnyConstraint> = four_families().into_iter().map(Into::into).collect();
+            constraint_sigma_size(&any)
+        });
+        let mut b = GraphBuilder::new();
+        b.node("n", "τ");
+        b.attr("n", "flagged", 1);
+        b.attr("n", "score", 99);
+        b.attr("n", "state", "limbo");
+        let g = b.build();
+        let report = ged_core::reason::validate(&g, &sigma, None);
+        assert_eq!(report.total_violations(), 4);
+        let kinds: Vec<&ViolationKind> = report.violations.iter().map(|v| &v.kind).collect();
+        assert!(matches!(kinds[0], ViolationKind::Conclusions(_)));
+        assert!(matches!(kinds[1], ViolationKind::Predicates(_)));
+        assert!(matches!(kinds[2], ViolationKind::Disjunction));
+        assert!(matches!(kinds[3], ViolationKind::Disjunction));
+    }
+}

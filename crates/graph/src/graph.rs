@@ -11,12 +11,20 @@
 //!
 //! The structure is index-heavy because the homomorphism matcher and the
 //! chase interrogate it constantly: out/in adjacency lists, an exact edge
-//! set for O(1) `has_edge`, and a label index for candidate generation.
+//! set for O(1) `has_edge`, a label index for candidate generation, and —
+//! for the matcher's hot loop — a **label-partitioned adjacency view**
+//! ([`Graph::out_edges_labeled`] / [`Graph::in_edges_labeled`]): per node
+//! and direction, one CSR-style array of neighbour ids grouped by edge
+//! label plus a `(label → range)` offset index, so candidate generation
+//! for a concrete edge label iterates exactly the right-label neighbours
+//! instead of filtering the flat edge list.
 
 use crate::symbol::Symbol;
 use crate::value::Value;
+use std::borrow::Cow;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
+use std::ops::Range;
 
 /// A node identifier: dense index into the graph's node table.
 ///
@@ -56,6 +64,90 @@ struct NodeData {
     attrs: BTreeMap<Symbol, Value>,
 }
 
+/// One node's adjacency in one direction, partitioned by edge label:
+/// CSR-style, a single neighbour array grouped by label (ids sorted
+/// within each group) plus a sorted `(label, start offset)` index. The
+/// group of `index[i].0` spans `nbrs[index[i].1 .. index[i+1].1]` (or to
+/// the end for the last entry). Since `E` is a set, ids within a group
+/// are duplicate-free, so a group is a sorted set — exactly the candidate
+/// list shape the matcher wants, with no filter, sort, or dedup.
+#[derive(Debug, Clone, Default)]
+struct LabeledAdj {
+    nbrs: Vec<NodeId>,
+    index: Vec<(Symbol, u32)>,
+}
+
+impl LabeledAdj {
+    /// The `nbrs` range holding label `l`'s group (empty if absent).
+    fn range(&self, l: Symbol) -> Range<usize> {
+        match self.index.binary_search_by_key(&l, |&(s, _)| s) {
+            Ok(i) => {
+                let start = self.index[i].1 as usize;
+                let end = self
+                    .index
+                    .get(i + 1)
+                    .map_or(self.nbrs.len(), |&(_, o)| o as usize);
+                start..end
+            }
+            Err(_) => 0..0,
+        }
+    }
+
+    /// Label `l`'s neighbour group: sorted, duplicate-free.
+    fn group(&self, l: Symbol) -> &[NodeId] {
+        &self.nbrs[self.range(l)]
+    }
+
+    /// Insert neighbour `n` under label `l`, keeping groups label-major
+    /// and id-sorted. The caller (the edge-set guard in [`Graph`])
+    /// guarantees `(l, n)` is not already present.
+    fn insert(&mut self, l: Symbol, n: NodeId) {
+        match self.index.binary_search_by_key(&l, |&(s, _)| s) {
+            Ok(i) => {
+                let Range { start, end } = self.range(l);
+                let pos = start + self.nbrs[start..end].partition_point(|&m| m < n);
+                // `pos == end` lands on the next label's group, not a dup.
+                debug_assert!(pos >= end || self.nbrs[pos] != n, "edge already present");
+                self.nbrs.insert(pos, n);
+                for e in &mut self.index[i + 1..] {
+                    e.1 += 1;
+                }
+            }
+            Err(i) => {
+                let start = self
+                    .index
+                    .get(i)
+                    .map_or(self.nbrs.len(), |&(_, o)| o as usize);
+                self.nbrs.insert(start, n);
+                self.index.insert(i, (l, start as u32));
+                for e in &mut self.index[i + 1..] {
+                    e.1 += 1;
+                }
+            }
+        }
+    }
+
+    /// Remove neighbour `n` from label `l`'s group (no-op if absent);
+    /// an emptied group's index entry is dropped so the index enumerates
+    /// exactly the labels with neighbours.
+    fn remove(&mut self, l: Symbol, n: NodeId) {
+        let Ok(i) = self.index.binary_search_by_key(&l, |&(s, _)| s) else {
+            return;
+        };
+        let Range { start, end } = self.range(l);
+        let Ok(off) = self.nbrs[start..end].binary_search(&n) else {
+            return;
+        };
+        self.nbrs.remove(start + off);
+        for e in &mut self.index[i + 1..] {
+            e.1 -= 1;
+        }
+        if end - start == 1 {
+            self.index.remove(i);
+        }
+    }
+}
+
 /// A finite directed labelled property graph (Section 2).
 ///
 /// Nodes are identified by dense ids. Removal ([`Graph::remove_node`]) marks
@@ -70,6 +162,8 @@ pub struct Graph {
     n_live: usize,
     out: Vec<Vec<(Symbol, NodeId)>>,
     inn: Vec<Vec<(Symbol, NodeId)>>,
+    out_lab: Vec<LabeledAdj>,
+    inn_lab: Vec<LabeledAdj>,
     edge_set: HashSet<(NodeId, Symbol, NodeId)>,
     label_index: HashMap<Symbol, Vec<NodeId>>,
 }
@@ -92,6 +186,8 @@ impl Graph {
         self.n_live += 1;
         self.out.push(Vec::new());
         self.inn.push(Vec::new());
+        self.out_lab.push(LabeledAdj::default());
+        self.inn_lab.push(LabeledAdj::default());
         self.label_index.entry(label).or_default().push(id);
         id
     }
@@ -106,6 +202,8 @@ impl Graph {
         }
         self.out[src.idx()].push((label, dst));
         self.inn[dst.idx()].push((label, src));
+        self.out_lab[src.idx()].insert(label, dst);
+        self.inn_lab[dst.idx()].insert(label, src);
         true
     }
 
@@ -116,6 +214,8 @@ impl Graph {
         }
         self.out[src.idx()].retain(|&(l, d)| !(l == label && d == dst));
         self.inn[dst.idx()].retain(|&(l, s)| !(l == label && s == src));
+        self.out_lab[src.idx()].remove(label, dst);
+        self.inn_lab[dst.idx()].remove(label, src);
         true
     }
 
@@ -132,6 +232,7 @@ impl Graph {
             self.edge_set.remove(&(n, label, dst));
             if dst != n {
                 self.inn[dst.idx()].retain(|&(l, s)| !(l == label && s == n));
+                self.inn_lab[dst.idx()].remove(label, n);
             }
         }
         let inns = std::mem::take(&mut self.inn[n.idx()]);
@@ -139,8 +240,11 @@ impl Graph {
             if src != n {
                 self.edge_set.remove(&(src, label, n));
                 self.out[src.idx()].retain(|&(l, d)| !(l == label && d == n));
+                self.out_lab[src.idx()].remove(label, n);
             }
         }
+        self.out_lab[n.idx()] = LabeledAdj::default();
+        self.inn_lab[n.idx()] = LabeledAdj::default();
         let label = self.nodes[n.idx()].label;
         let label_emptied = match self.label_index.get_mut(&label) {
             Some(ix) => {
@@ -261,6 +365,35 @@ impl Graph {
         self.inn[n.idx()].len()
     }
 
+    /// The nodes `d` with an edge `(n, label, d)`, for one concrete edge
+    /// label: the label-partitioned adjacency view. The slice is sorted by
+    /// id and duplicate-free (E is a set), so it is directly usable as a
+    /// matcher candidate list — no filtering, sorting, or dedup. `label`
+    /// must not be the wildcard (a wildcard edge spans *all* groups; use
+    /// [`Graph::out_edges`] and filter).
+    pub fn out_edges_labeled(&self, n: NodeId, label: Symbol) -> &[NodeId] {
+        debug_assert!(!label.is_wildcard(), "wildcard spans all label groups");
+        self.out_lab[n.idx()].group(label)
+    }
+
+    /// The nodes `s` with an edge `(s, label, n)` — the incoming
+    /// counterpart of [`Graph::out_edges_labeled`]; sorted, duplicate-free.
+    pub fn in_edges_labeled(&self, n: NodeId, label: Symbol) -> &[NodeId] {
+        debug_assert!(!label.is_wildcard(), "wildcard spans all label groups");
+        self.inn_lab[n.idx()].group(label)
+    }
+
+    /// Number of out-edges of `n` with exactly `label` — O(log #labels),
+    /// the degree pre-filter's lookup.
+    pub fn out_degree_labeled(&self, n: NodeId, label: Symbol) -> usize {
+        self.out_lab[n.idx()].range(label).len()
+    }
+
+    /// Number of in-edges of `n` with exactly `label`.
+    pub fn in_degree_labeled(&self, n: NodeId, label: Symbol) -> usize {
+        self.inn_lab[n.idx()].range(label).len()
+    }
+
     /// Exact edge membership test.
     pub fn has_edge(&self, src: NodeId, label: Symbol, dst: NodeId) -> bool {
         self.edge_set.contains(&(src, label, dst))
@@ -286,12 +419,14 @@ impl Graph {
 
     /// Candidate data nodes for a pattern node labelled `pat_label` under the
     /// matching relation `⪯`: every node if `pat_label` is the wildcard,
-    /// otherwise exactly the nodes labelled `pat_label`.
-    pub fn label_candidates(&self, pat_label: Symbol) -> Vec<NodeId> {
+    /// otherwise exactly the nodes labelled `pat_label`. The concrete-label
+    /// case borrows the label-index bucket directly; only the wildcard case
+    /// materialises a list.
+    pub fn label_candidates(&self, pat_label: Symbol) -> Cow<'_, [NodeId]> {
         if pat_label.is_wildcard() {
-            self.nodes().collect()
+            Cow::Owned(self.nodes().collect())
         } else {
-            self.nodes_with_label(pat_label).to_vec()
+            Cow::Borrowed(self.nodes_with_label(pat_label))
         }
     }
 
@@ -722,6 +857,85 @@ mod tests {
         let b = g.add_node(sym("t"));
         g.remove_node(b);
         g.add_edge(a, sym("e"), b);
+    }
+
+    /// Cross-check the label-partitioned view against the flat adjacency
+    /// lists on every node and direction: same multiset of neighbours per
+    /// label, groups sorted and duplicate-free.
+    fn assert_labeled_view_consistent(g: &Graph) {
+        fn check(n: NodeId, flat: &[(Symbol, NodeId)], labeled_of: impl Fn(Symbol) -> Vec<NodeId>) {
+            let mut by_label: BTreeMap<Symbol, Vec<NodeId>> = BTreeMap::new();
+            for &(l, m) in flat {
+                by_label.entry(l).or_default().push(m);
+            }
+            for (l, mut expect) in by_label {
+                expect.sort_unstable();
+                let got = labeled_of(l);
+                assert_eq!(got, expect, "node {n} label {l}");
+                assert!(got.windows(2).all(|w| w[0] < w[1]), "sorted, no dups");
+            }
+        }
+        for n in g.nodes() {
+            check(n, g.out_edges(n), |l| g.out_edges_labeled(n, l).to_vec());
+            check(n, g.in_edges(n), |l| g.in_edges_labeled(n, l).to_vec());
+        }
+    }
+
+    #[test]
+    fn labeled_view_tracks_adds_removes_and_tombstones() {
+        let mut g = Graph::new();
+        let (e, f) = (sym("e"), sym("f"));
+        let n: Vec<NodeId> = (0..5).map(|_| g.add_node(sym("t"))).collect();
+        g.add_edge(n[0], e, n[2]);
+        g.add_edge(n[0], e, n[1]);
+        g.add_edge(n[0], f, n[1]);
+        g.add_edge(n[0], e, n[0]); // self loop
+        g.add_edge(n[3], e, n[0]);
+        assert_eq!(g.out_edges_labeled(n[0], e), &[n[0], n[1], n[2]]);
+        assert_eq!(g.out_edges_labeled(n[0], f), &[n[1]]);
+        assert_eq!(g.in_edges_labeled(n[0], e), &[n[0], n[3]]);
+        assert_eq!(g.out_degree_labeled(n[0], e), 3);
+        assert_eq!(g.in_degree_labeled(n[1], f), 1);
+        assert_eq!(g.out_edges_labeled(n[4], e), &[] as &[NodeId]);
+        assert_labeled_view_consistent(&g);
+
+        assert!(g.remove_edge(n[0], e, n[1]));
+        assert_eq!(g.out_edges_labeled(n[0], e), &[n[0], n[2]]);
+        assert_labeled_view_consistent(&g);
+
+        // Tombstoning n[0] clears its own groups and every mirror entry.
+        assert!(g.remove_node(n[0]));
+        assert_eq!(g.out_edges_labeled(n[3], e), &[] as &[NodeId]);
+        assert_eq!(g.in_edges_labeled(n[2], e), &[] as &[NodeId]);
+        assert_labeled_view_consistent(&g);
+
+        // Remove-then-re-add under a fresh id keeps the view exact.
+        let d = g.add_node(sym("t"));
+        g.add_edge(n[3], e, d);
+        g.add_edge(d, f, n[3]);
+        assert_eq!(g.out_edges_labeled(n[3], e), &[d]);
+        assert_eq!(g.in_edges_labeled(n[3], f), &[d]);
+        assert_labeled_view_consistent(&g);
+    }
+
+    #[test]
+    fn labeled_view_survives_compact() {
+        let mut g = Graph::new();
+        let (e, f) = (sym("e"), sym("f"));
+        let n: Vec<NodeId> = (0..4).map(|_| g.add_node(sym("t"))).collect();
+        g.add_edge(n[0], e, n[1]);
+        g.add_edge(n[0], f, n[2]);
+        g.add_edge(n[2], e, n[2]);
+        g.remove_node(n[1]);
+        let (dense, map) = g.compact();
+        assert_labeled_view_consistent(&dense);
+        let c2 = map[n[2].idx()].unwrap();
+        assert_eq!(dense.out_edges_labeled(map[n[0].idx()].unwrap(), f), &[c2]);
+        assert_eq!(dense.out_edges_labeled(c2, e), &[c2], "self loop kept");
+        assert_eq!(
+            map[n[3].idx()].map(|m| dense.out_degree_labeled(m, e)),
+            Some(0)
+        );
     }
 
     #[test]

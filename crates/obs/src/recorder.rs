@@ -38,6 +38,13 @@ pub trait MatchRecorder {
 
     /// A complete match was found.
     fn on_match(&self) {}
+
+    /// A candidate node was rejected by a cheap pre-filter (labeled-degree
+    /// or constant-attribute check) *before* the consistency checks and the
+    /// recursion below it. Pre-filter rejects are a subset of the attempts
+    /// already tallied by [`MatchRecorder::add_attempts`] — the separate
+    /// count shows how much of the candidate stream the filters kill.
+    fn on_prefilter_reject(&self) {}
 }
 
 /// The do-nothing recorder: the matcher's default type parameter.
@@ -61,6 +68,7 @@ pub static NOOP: NoopRecorder = NoopRecorder;
 pub struct CellRecorder {
     attempts: Cell<u64>,
     matches: Cell<u64>,
+    prefilter_rejects: Cell<u64>,
 }
 
 impl CellRecorder {
@@ -78,6 +86,11 @@ impl CellRecorder {
     pub fn matches(&self) -> u64 {
         self.matches.get()
     }
+
+    /// Candidates killed by the matcher's pre-filters so far.
+    pub fn prefilter_rejects(&self) -> u64 {
+        self.prefilter_rejects.get()
+    }
 }
 
 impl MatchRecorder for CellRecorder {
@@ -92,6 +105,10 @@ impl MatchRecorder for CellRecorder {
     fn on_match(&self) {
         self.matches.set(self.matches.get() + 1);
     }
+
+    fn on_prefilter_reject(&self) {
+        self.prefilter_rejects.set(self.prefilter_rejects.get() + 1);
+    }
 }
 
 #[cfg(test)]
@@ -104,8 +121,10 @@ mod tests {
         r.on_attempt();
         r.on_attempt();
         r.on_match();
+        r.on_prefilter_reject();
         assert_eq!(r.attempts(), 2);
         assert_eq!(r.matches(), 1);
+        assert_eq!(r.prefilter_rejects(), 1);
     }
 
     #[test]

@@ -24,7 +24,8 @@ pub mod pattern;
 
 pub use dsl::parse_pattern;
 pub use matcher::{
-    count, exists, find_all, find_first, is_match, Match, MatchOptions, Matcher, Semantics,
+    count, exists, find_all, find_first, is_match, Match, MatchOptions, MatchScratch, Matcher,
+    Semantics,
 };
 pub use pattern::{Pattern, PatternEdge, Var};
 
@@ -109,14 +110,20 @@ mod proptests {
                 matcher::find_all(&q, &g, MatchOptions::homomorphism()).into_iter().collect();
             for smart in [false, true] {
                 for adj in [false, true] {
-                    let opts = MatchOptions {
-                        semantics: Semantics::Homomorphism,
-                        smart_order: smart,
-                        adjacency_candidates: adj,
-                    };
-                    let got: std::collections::HashSet<Match> =
-                        matcher::find_all(&q, &g, opts).into_iter().collect();
-                    prop_assert_eq!(&got, &base);
+                    for lab in [false, true] {
+                        for pre in [false, true] {
+                            let opts = MatchOptions {
+                                semantics: Semantics::Homomorphism,
+                                smart_order: smart,
+                                adjacency_candidates: adj,
+                                labeled_adjacency: lab,
+                                prefilter: pre,
+                            };
+                            let got: std::collections::HashSet<Match> =
+                                matcher::find_all(&q, &g, opts).into_iter().collect();
+                            prop_assert_eq!(&got, &base);
+                        }
+                    }
                 }
             }
         }

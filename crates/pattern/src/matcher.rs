@@ -16,8 +16,9 @@
 //! reproducibility.
 
 use crate::pattern::{Pattern, Var};
-use ged_graph::{Graph, NodeId};
+use ged_graph::{Graph, NodeId, Symbol, Value};
 use ged_obs::{MatchRecorder, NoopRecorder, NOOP};
+use std::borrow::Cow;
 use std::ops::ControlFlow;
 
 /// Matching semantics.
@@ -42,6 +43,20 @@ pub struct MatchOptions {
     /// Derive candidate sets from already-assigned neighbours instead of
     /// scanning all label candidates.
     pub adjacency_candidates: bool,
+    /// Serve candidate lists for non-wildcard pattern edge labels from the
+    /// graph's label-partitioned adjacency view ([`Graph::out_edges_labeled`])
+    /// instead of filtering the flat edge lists. The labeled groups are
+    /// already sorted and duplicate-free, so this skips the per-extension
+    /// filter *and* the sort/dedup. Candidate lists are byte-identical to
+    /// the filtered path; the flag exists for the lockstep equivalence
+    /// tests and the EXP-MATCH with/without comparison.
+    pub labeled_adjacency: bool,
+    /// Reject a candidate before recursing when its labeled in/out degree
+    /// cannot cover the pattern variable's edges, or when a required
+    /// constant-valued attribute (see [`Matcher::require_attr`]) already
+    /// fails. The degree filter never changes the match set — a rejected
+    /// candidate could not have completed a match.
+    pub prefilter: bool,
 }
 
 impl Default for MatchOptions {
@@ -50,6 +65,8 @@ impl Default for MatchOptions {
             semantics: Semantics::Homomorphism,
             smart_order: true,
             adjacency_candidates: true,
+            labeled_adjacency: true,
+            prefilter: true,
         }
     }
 }
@@ -72,6 +89,70 @@ impl MatchOptions {
 /// A total match `h(x̄)`: node per variable, indexed by `Var`.
 pub type Match = Vec<NodeId>;
 
+/// Reusable scratch space for the backtracking search: one candidate
+/// buffer per recursion depth, the completed-match buffer, and the
+/// partial-assignment vector. A `Matcher` run through the `*_in` entry
+/// points writes candidates into these cleared buffers instead of
+/// allocating a fresh `Vec` per variable per recursion — the engine's
+/// shard workers each own one scratch and thread it through every work
+/// unit, so steady-state matching is allocation-free.
+///
+/// The buffers grow to the high-water mark of the patterns run through
+/// them and stay there; a scratch is plain state, safe to reuse across
+/// different patterns and graphs.
+#[derive(Debug, Clone, Default)]
+pub struct MatchScratch {
+    /// One candidate buffer per backtracking depth.
+    levels: Vec<Vec<NodeId>>,
+    /// The completed match handed to the visitor callback.
+    full: Vec<NodeId>,
+    /// Partial assignment, indexed by `Var`.
+    assign: Vec<Option<NodeId>>,
+}
+
+impl MatchScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> MatchScratch {
+        MatchScratch::default()
+    }
+}
+
+/// Per-variable degree obligations, precomputed from the pattern: the
+/// distinct non-wildcard edge labels the variable's image must have at
+/// least one outgoing/incoming edge under, plus whether any wildcard
+/// pattern edge demands *some* out/in edge. Existence (not counts) is
+/// the right requirement under homomorphism: several same-label pattern
+/// edges may map to one data edge.
+#[derive(Debug, Clone, Default)]
+struct DegreeReq {
+    out_labels: Vec<Symbol>,
+    in_labels: Vec<Symbol>,
+    needs_out: bool,
+    needs_in: bool,
+}
+
+fn degree_reqs(pattern: &Pattern) -> Vec<DegreeReq> {
+    let mut reqs = vec![DegreeReq::default(); pattern.var_count()];
+    for v in pattern.vars() {
+        let req = &mut reqs[v.idx()];
+        for &(el, _) in pattern.out_edges(v) {
+            if el.is_wildcard() {
+                req.needs_out = true;
+            } else if !req.out_labels.contains(&el) {
+                req.out_labels.push(el);
+            }
+        }
+        for &(el, _) in pattern.in_edges(v) {
+            if el.is_wildcard() {
+                req.needs_in = true;
+            } else if !req.in_labels.contains(&el) {
+                req.in_labels.push(el);
+            }
+        }
+    }
+    reqs
+}
+
 /// The matcher: borrows a pattern and a graph, precomputes the search order.
 ///
 /// The recorder parameter `R` is the observability hook of the hot loop:
@@ -84,6 +165,10 @@ pub struct Matcher<'a, R: MatchRecorder = NoopRecorder> {
     graph: &'a Graph,
     opts: MatchOptions,
     order: Vec<Var>,
+    degree_req: Vec<DegreeReq>,
+    /// Per-variable `(attribute, value)` obligations for the constant
+    /// pre-filter; empty unless [`Matcher::require_attr`] was called.
+    required_attrs: Vec<Vec<(Symbol, Value)>>,
     recorder: &'a R,
 }
 
@@ -117,18 +202,46 @@ impl<'a, R: MatchRecorder> Matcher<'a, R> {
             graph,
             opts,
             order,
+            degree_req: degree_reqs(pattern),
+            required_attrs: vec![Vec::new(); pattern.var_count()],
             recorder,
         }
     }
 
+    /// Require every match to map `var` to a node carrying attribute
+    /// `attr` with exactly `value`; candidates failing it are rejected by
+    /// the pre-filter before the subtree below them is explored.
+    ///
+    /// Unlike the degree pre-filter this **changes the match set** — it
+    /// is the violation-enumeration shortcut: when a constraint's premise
+    /// contains the constant literal `x.A = c`, matches where it fails
+    /// can never witness a violation, so the engine pushes the literal
+    /// into the matcher instead of enumerating and discarding. Has no
+    /// effect when [`MatchOptions::prefilter`] is off.
+    pub fn require_attr(&mut self, var: Var, attr: Symbol, value: Value) {
+        self.required_attrs[var.idx()].push((attr, value));
+    }
+
     /// Visit every match; `f` returns [`ControlFlow::Break`] to stop early.
     /// Returns `true` if enumeration ran to completion.
+    ///
+    /// Allocates a fresh [`MatchScratch`] per call; hot paths that run
+    /// many enumerations should own a scratch and use
+    /// [`Matcher::for_each_in`].
     pub fn for_each(&self, mut f: impl FnMut(&[NodeId]) -> ControlFlow<()>) -> bool {
-        let mut assign: Vec<Option<NodeId>> = vec![None; self.pattern.var_count()];
+        self.for_each_in(&mut MatchScratch::new(), &mut f)
+    }
+
+    /// As [`Matcher::for_each`], writing candidate sets into the caller's
+    /// reusable `scratch` instead of allocating.
+    pub fn for_each_in(
+        &self,
+        scratch: &mut MatchScratch,
+        mut f: impl FnMut(&[NodeId]) -> ControlFlow<()>,
+    ) -> bool {
         // The no-exclusion closure monomorphizes to a constant `false`, so
         // plain enumeration compiles down to the engine it always had.
-        self.backtrack(0, &mut assign, &|_, _| false, &mut f)
-            .is_continue()
+        self.for_each_seeded_excluding_in(scratch, &[], &|_, _| false, &mut f)
     }
 
     /// Visit every match extending the given partial assignment (“seeded”
@@ -157,16 +270,32 @@ impl<'a, R: MatchRecorder> Matcher<'a, R> {
     where
         E: Fn(Var, NodeId) -> bool + ?Sized,
     {
-        let mut assign: Vec<Option<NodeId>> = vec![None; self.pattern.var_count()];
+        self.for_each_seeded_excluding_in(&mut MatchScratch::new(), seed, excluded, &mut f)
+    }
+
+    /// As [`Matcher::for_each_seeded_excluding`], reusing the caller's
+    /// `scratch` for candidate sets and the partial assignment.
+    pub fn for_each_seeded_excluding_in<E>(
+        &self,
+        scratch: &mut MatchScratch,
+        seed: &[(Var, NodeId)],
+        excluded: &E,
+        mut f: impl FnMut(&[NodeId]) -> ControlFlow<()>,
+    ) -> bool
+    where
+        E: Fn(Var, NodeId) -> bool + ?Sized,
+    {
+        scratch.assign.clear();
+        scratch.assign.resize(self.pattern.var_count(), None);
         for &(v, n) in seed {
             if !self.pattern.label(v).matches(self.graph.label(n)) {
                 return true; // no matches; enumeration trivially complete
             }
-            assign[v.idx()] = Some(n);
+            scratch.assign[v.idx()] = Some(n);
         }
         // Check constraint edges among the seeds up front.
         for e in self.pattern.pattern_edges() {
-            if let (Some(s), Some(d)) = (assign[e.src.idx()], assign[e.dst.idx()]) {
+            if let (Some(s), Some(d)) = (scratch.assign[e.src.idx()], scratch.assign[e.dst.idx()]) {
                 if !self.graph.has_edge_matching(s, e.label, d) {
                     return true;
                 }
@@ -180,8 +309,7 @@ impl<'a, R: MatchRecorder> Matcher<'a, R> {
                 }
             }
         }
-        self.backtrack(0, &mut assign, excluded, &mut f)
-            .is_continue()
+        self.backtrack(0, scratch, excluded, &mut f).is_continue()
     }
 
     /// Visit every match that maps `anchor` to one of `seeds` (*anchored*
@@ -197,6 +325,17 @@ impl<'a, R: MatchRecorder> Matcher<'a, R> {
         mut f: impl FnMut(&[NodeId]) -> ControlFlow<()>,
     ) -> bool {
         self.for_each_anchored_excluding(anchor, seeds, &|_, _| false, &mut f)
+    }
+
+    /// As [`Matcher::for_each_anchored`], reusing the caller's `scratch`.
+    pub fn for_each_anchored_in(
+        &self,
+        scratch: &mut MatchScratch,
+        anchor: Var,
+        seeds: &[NodeId],
+        mut f: impl FnMut(&[NodeId]) -> ControlFlow<()>,
+    ) -> bool {
+        self.for_each_anchored_excluding_in(scratch, anchor, seeds, &|_, _| false, &mut f)
     }
 
     /// Anchored enumeration with per-variable *excluded* candidate sets:
@@ -216,6 +355,25 @@ impl<'a, R: MatchRecorder> Matcher<'a, R> {
         anchor: Var,
         seeds: &[NodeId],
         excluded: &E,
+        f: impl FnMut(&[NodeId]) -> ControlFlow<()>,
+    ) -> bool
+    where
+        E: Fn(Var, NodeId) -> bool + ?Sized,
+    {
+        self.for_each_anchored_excluding_in(&mut MatchScratch::new(), anchor, seeds, excluded, f)
+    }
+
+    /// As [`Matcher::for_each_anchored_excluding`], reusing the caller's
+    /// `scratch`. The pre-filters (when [`MatchOptions::prefilter`] is on)
+    /// also screen the anchor seeds themselves — a seed whose labeled
+    /// degree or required attributes already fail is skipped without
+    /// entering the search.
+    pub fn for_each_anchored_excluding_in<E>(
+        &self,
+        scratch: &mut MatchScratch,
+        anchor: Var,
+        seeds: &[NodeId],
+        excluded: &E,
         mut f: impl FnMut(&[NodeId]) -> ControlFlow<()>,
     ) -> bool
     where
@@ -227,7 +385,11 @@ impl<'a, R: MatchRecorder> Matcher<'a, R> {
         // report matches with zero attempts).
         self.recorder.add_attempts(seeds.len() as u64);
         for &n in seeds {
-            if !self.for_each_seeded_excluding(&[(anchor, n)], excluded, &mut f) {
+            if self.opts.prefilter && self.prefilter_rejects(anchor, n) {
+                self.recorder.on_prefilter_reject();
+                continue;
+            }
+            if !self.for_each_seeded_excluding_in(scratch, &[(anchor, n)], excluded, &mut f) {
                 return false;
             }
         }
@@ -237,7 +399,7 @@ impl<'a, R: MatchRecorder> Matcher<'a, R> {
     fn backtrack<E>(
         &self,
         depth: usize,
-        assign: &mut Vec<Option<NodeId>>,
+        scratch: &mut MatchScratch,
         excluded: &E,
         f: &mut impl FnMut(&[NodeId]) -> ControlFlow<()>,
     ) -> ControlFlow<()>
@@ -246,70 +408,150 @@ impl<'a, R: MatchRecorder> Matcher<'a, R> {
     {
         // Skip already-assigned (seeded) variables.
         let mut depth = depth;
-        while depth < self.order.len() && assign[self.order[depth].idx()].is_some() {
+        while depth < self.order.len() && scratch.assign[self.order[depth].idx()].is_some() {
             depth += 1;
         }
         if depth == self.order.len() {
             self.recorder.on_match();
-            let full: Vec<NodeId> = assign.iter().map(|o| o.unwrap()).collect();
-            return f(&full);
+            scratch.full.clear();
+            scratch
+                .full
+                .extend(scratch.assign.iter().map(|o| o.unwrap()));
+            return f(&scratch.full);
         }
         let v = self.order[depth];
-        let candidates = self.candidates(v, assign);
+        if scratch.levels.len() <= depth {
+            scratch.levels.resize_with(depth + 1, Vec::new);
+        }
+        // Take this depth's buffer out of the scratch for the duration of
+        // the level; deeper recursion only touches deeper buffers, and the
+        // buffer is restored (capacity intact) before returning.
+        let mut buf = std::mem::take(&mut scratch.levels[depth]);
+        self.candidates_into(v, &scratch.assign, &mut buf);
         // Attempts count every candidate in the list unconditionally, so
         // report the whole level in one call — the hot loop itself stays
         // hook-free.
-        self.recorder.add_attempts(candidates.len() as u64);
-        for n in candidates {
-            if excluded(v, n) || !self.consistent(v, n, assign) {
+        self.recorder.add_attempts(buf.len() as u64);
+        let mut flow = ControlFlow::Continue(());
+        for &n in &buf {
+            if excluded(v, n) {
                 continue;
             }
-            assign[v.idx()] = Some(n);
-            let flow = self.backtrack(depth + 1, assign, excluded, f);
-            assign[v.idx()] = None;
-            flow?;
+            if self.opts.prefilter && self.prefilter_rejects(v, n) {
+                self.recorder.on_prefilter_reject();
+                continue;
+            }
+            if !self.consistent(v, n, &scratch.assign) {
+                continue;
+            }
+            scratch.assign[v.idx()] = Some(n);
+            let inner = self.backtrack(depth + 1, scratch, excluded, f);
+            scratch.assign[v.idx()] = None;
+            if inner.is_break() {
+                flow = inner;
+                break;
+            }
         }
-        ControlFlow::Continue(())
+        scratch.levels[depth] = buf;
+        flow
     }
 
-    /// Candidate data nodes for `v` given the partial assignment: derived
-    /// from an already-assigned neighbour when possible (cheap), otherwise
-    /// from the label index.
-    fn candidates(&self, v: Var, assign: &[Option<NodeId>]) -> Vec<NodeId> {
+    /// Write the candidate data nodes for `v` given the partial assignment
+    /// into `buf` (cleared first): derived from an already-assigned
+    /// neighbour when possible (cheap), otherwise from the label index.
+    /// The list is sorted and duplicate-free either way, so enumeration
+    /// order does not depend on which path produced it.
+    fn candidates_into(&self, v: Var, assign: &[Option<NodeId>], buf: &mut Vec<NodeId>) {
+        buf.clear();
         let lv = self.pattern.label(v);
         if self.opts.adjacency_candidates {
             // v required as dst of an assigned src?
             for &(el, u) in self.pattern.in_edges(v) {
                 if let Some(hu) = assign[u.idx()] {
-                    let mut c: Vec<NodeId> = self
-                        .graph
-                        .out_edges(hu)
-                        .iter()
-                        .filter(|&&(l, d)| el.matches(l) && lv.matches(self.graph.label(d)))
-                        .map(|&(_, d)| d)
-                        .collect();
-                    c.sort_unstable();
-                    c.dedup();
-                    return c;
+                    if self.opts.labeled_adjacency && !el.is_wildcard() {
+                        // The labeled group is sorted and duplicate-free:
+                        // exactly the old filtered+sorted+deduped list.
+                        buf.extend(
+                            self.graph
+                                .out_edges_labeled(hu, el)
+                                .iter()
+                                .copied()
+                                .filter(|&d| lv.matches(self.graph.label(d))),
+                        );
+                    } else {
+                        buf.extend(
+                            self.graph
+                                .out_edges(hu)
+                                .iter()
+                                .filter(|&&(l, d)| el.matches(l) && lv.matches(self.graph.label(d)))
+                                .map(|&(_, d)| d),
+                        );
+                        buf.sort_unstable();
+                        buf.dedup();
+                    }
+                    return;
                 }
             }
             // v required as src of an assigned dst?
             for &(el, u) in self.pattern.out_edges(v) {
                 if let Some(hu) = assign[u.idx()] {
-                    let mut c: Vec<NodeId> = self
-                        .graph
-                        .in_edges(hu)
-                        .iter()
-                        .filter(|&&(l, s)| el.matches(l) && lv.matches(self.graph.label(s)))
-                        .map(|&(_, s)| s)
-                        .collect();
-                    c.sort_unstable();
-                    c.dedup();
-                    return c;
+                    if self.opts.labeled_adjacency && !el.is_wildcard() {
+                        buf.extend(
+                            self.graph
+                                .in_edges_labeled(hu, el)
+                                .iter()
+                                .copied()
+                                .filter(|&s| lv.matches(self.graph.label(s))),
+                        );
+                    } else {
+                        buf.extend(
+                            self.graph
+                                .in_edges(hu)
+                                .iter()
+                                .filter(|&&(l, s)| el.matches(l) && lv.matches(self.graph.label(s)))
+                                .map(|&(_, s)| s),
+                        );
+                        buf.sort_unstable();
+                        buf.dedup();
+                    }
+                    return;
                 }
             }
         }
-        self.graph.label_candidates(lv)
+        match self.graph.label_candidates(lv) {
+            Cow::Borrowed(c) => buf.extend_from_slice(c),
+            Cow::Owned(c) => buf.extend(c),
+        }
+    }
+
+    /// The cheap pre-filters: labeled-degree coverage and required
+    /// constant attributes. `true` means `v ↦ n` cannot be part of any
+    /// match of interest and the candidate is skipped before recursion.
+    fn prefilter_rejects(&self, v: Var, n: NodeId) -> bool {
+        let req = &self.degree_req[v.idx()];
+        if req.needs_out && self.graph.out_edges(n).is_empty() {
+            return true;
+        }
+        if req.needs_in && self.graph.in_edges(n).is_empty() {
+            return true;
+        }
+        if req
+            .out_labels
+            .iter()
+            .any(|&l| self.graph.out_degree_labeled(n, l) == 0)
+        {
+            return true;
+        }
+        if req
+            .in_labels
+            .iter()
+            .any(|&l| self.graph.in_degree_labeled(n, l) == 0)
+        {
+            return true;
+        }
+        self.required_attrs[v.idx()]
+            .iter()
+            .any(|(a, val)| self.graph.attr(n, *a) != Some(val))
     }
 
     /// Check `v ↦ n` against labels, constraint edges to assigned
@@ -453,10 +695,16 @@ pub fn find_all_brute(pattern: &Pattern, graph: &Graph, opts: MatchOptions) -> V
         return out;
     }
     let mut idx = vec![0usize; nv];
+    // One assignment buffer refilled in place per permutation; cloned only
+    // for the (rare) permutations that actually match. This is the oracle
+    // in the randomized lockstep tests, so its cost bounds CI time.
+    let mut assign: Vec<NodeId> = vec![nodes[0]; nv];
     'outer: loop {
-        let assign: Vec<NodeId> = idx.iter().map(|&i| nodes[i]).collect();
+        for (slot, &i) in assign.iter_mut().zip(idx.iter()) {
+            *slot = nodes[i];
+        }
         if is_match(pattern, graph, &assign, opts.semantics) {
-            out.push(assign);
+            out.push(assign.clone());
         }
         // increment
         for d in (0..nv).rev() {
@@ -811,16 +1059,136 @@ mod tests {
             .collect();
         for smart in [false, true] {
             for adj in [false, true] {
-                let opts = MatchOptions {
-                    semantics: Semantics::Homomorphism,
-                    smart_order: smart,
-                    adjacency_candidates: adj,
-                };
-                let got: std::collections::HashSet<Match> =
-                    find_all(&q, &g, opts).into_iter().collect();
-                assert_eq!(got, base, "smart={smart} adj={adj}");
+                for lab in [false, true] {
+                    for pre in [false, true] {
+                        let opts = MatchOptions {
+                            semantics: Semantics::Homomorphism,
+                            smart_order: smart,
+                            adjacency_candidates: adj,
+                            labeled_adjacency: lab,
+                            prefilter: pre,
+                        };
+                        let got: std::collections::HashSet<Match> =
+                            find_all(&q, &g, opts).into_iter().collect();
+                        assert_eq!(got, base, "smart={smart} adj={adj} lab={lab} pre={pre}");
+                    }
+                }
             }
         }
+    }
+
+    /// The degree pre-filter kills dead-end candidates (and tallies them)
+    /// without changing the match set; with the filter off no rejects are
+    /// reported.
+    #[test]
+    fn degree_prefilter_rejects_dead_ends_and_preserves_matches() {
+        use ged_obs::CellRecorder;
+        let mut g = Graph::new();
+        let person = ged_graph::sym("person");
+        let product = ged_graph::sym("product");
+        let create = ged_graph::sym("create");
+        let maker = g.add_node(person);
+        let idle1 = g.add_node(person); // no out-edges: dead end for x
+        let idle2 = g.add_node(person);
+        let item = g.add_node(product);
+        g.add_edge(maker, create, item);
+        let _ = (idle1, idle2);
+        let mut q = Pattern::new();
+        let x = q.var("x", "person");
+        let y = q.var("y", "product");
+        q.edge(x, "create", y);
+
+        // Scan label candidates directly (heuristics off) so the dead-end
+        // persons actually reach the filter.
+        let scan = MatchOptions {
+            smart_order: false,
+            adjacency_candidates: false,
+            ..MatchOptions::homomorphism()
+        };
+        let rec = CellRecorder::new();
+        let mut found = Vec::new();
+        Matcher::with_recorder(&q, &g, scan, &rec).for_each(|m| {
+            found.push(m.to_vec());
+            ControlFlow::Continue(())
+        });
+        assert_eq!(found, vec![vec![maker, item]]);
+        assert_eq!(
+            rec.prefilter_rejects(),
+            2,
+            "both edge-less persons rejected before recursion"
+        );
+
+        let off = MatchOptions {
+            prefilter: false,
+            ..scan
+        };
+        let rec_off = CellRecorder::new();
+        let mut found_off = Vec::new();
+        Matcher::with_recorder(&q, &g, off, &rec_off).for_each(|m| {
+            found_off.push(m.to_vec());
+            ControlFlow::Continue(())
+        });
+        assert_eq!(found_off, found, "filter never changes the match set");
+        assert_eq!(rec_off.prefilter_rejects(), 0);
+    }
+
+    /// `require_attr` narrows enumeration to candidates carrying the
+    /// constant attribute — the violation-premise shortcut.
+    #[test]
+    fn required_attrs_narrow_the_match_set() {
+        let mut g = Graph::new();
+        let person = ged_graph::sym("person");
+        let fake = ged_graph::sym("is_fake");
+        let a = g.add_node(person);
+        let b = g.add_node(person);
+        g.set_attr(a, fake, Value::Int(1));
+        g.set_attr(b, fake, Value::Int(0));
+        let mut q = Pattern::new();
+        let x = q.var("x", "person");
+        let mut m = Matcher::new(&q, &g, MatchOptions::homomorphism());
+        m.require_attr(x, fake, Value::Int(1));
+        let mut found = Vec::new();
+        m.for_each(|h| {
+            found.push(h.to_vec());
+            ControlFlow::Continue(())
+        });
+        assert_eq!(found, vec![vec![a]], "only the is_fake=1 node survives");
+        // Float/int numeric equality follows `Value`'s PartialEq.
+        let mut m = Matcher::new(&q, &g, MatchOptions::homomorphism());
+        m.require_attr(x, fake, Value::Float(1.0));
+        assert!(!m.for_each(|_| ControlFlow::Break(())), "1.0 matches 1");
+    }
+
+    /// One scratch reused across runs, patterns, and graphs yields the
+    /// same matches as fresh allocation.
+    #[test]
+    fn scratch_reuse_across_runs_is_equivalent() {
+        let g = creator_graph();
+        let q = q1();
+        let mut scratch = MatchScratch::new();
+        let matcher = Matcher::new(&q, &g, MatchOptions::homomorphism());
+        for _ in 0..3 {
+            let mut got = Vec::new();
+            matcher.for_each_in(&mut scratch, |m| {
+                got.push(m.to_vec());
+                ControlFlow::Continue(())
+            });
+            assert_eq!(got, find_all(&q, &g, MatchOptions::homomorphism()));
+        }
+        // A different (larger) pattern through the same scratch.
+        let mut q2 = Pattern::new();
+        let x = q2.var("x", "person");
+        let y = q2.var("y", "product");
+        let z = q2.var("z", "person");
+        q2.edge(x, "create", y);
+        q2.edge(z, "create", y);
+        let matcher2 = Matcher::new(&q2, &g, MatchOptions::homomorphism());
+        let mut got = Vec::new();
+        matcher2.for_each_in(&mut scratch, |m| {
+            got.push(m.to_vec());
+            ControlFlow::Continue(())
+        });
+        assert_eq!(got, find_all(&q2, &g, MatchOptions::homomorphism()));
     }
 
     /// The recorder hook observes without perturbing: a recorded run

@@ -2,13 +2,15 @@
 //!
 //! The paper's pitch is that GEDs, GDCs (Section 7.1), and GED∨
 //! (Section 7.2) are *one* class of dependencies over one graph model.
-//! `AnyConstraint` makes that literal at the type level: each rule —
-//! whatever its family — wraps into the same object-safe handle, a
-//! heterogeneous Σ is just `Vec<AnyConstraint>`, and a single
-//! `IncrementalValidator<AnyConstraint>` maintains the whole rule set
-//! under deltas, with each violation still reporting its family-native
-//! kind (failed conclusion literals / failed predicate indices / all
-//! disjuncts failed).
+//! `SigmaConstraint` makes that literal at the type level: each rule —
+//! whatever its family — converts into the same closed enum, a
+//! heterogeneous Σ is just `Vec<SigmaConstraint>`, and a single
+//! `IncrementalValidator<SigmaConstraint>` maintains the whole rule set
+//! under deltas with statically dispatched per-match checks, each
+//! violation still reporting its family-native kind (failed conclusion
+//! literals / failed predicate indices / all disjuncts failed). Rule
+//! sets mixing in families beyond the paper's four use the open
+//! `AnyConstraint` wrapper instead — same engines either way.
 //!
 //! Run with `cargo run --release --example mixed_constraints`.
 
@@ -21,7 +23,7 @@ fn main() {
     //   φ3 (GED∨): the tier lives in the domain {free, pro, biz}.
     let q = parse_pattern("account(x)").unwrap();
     let x = Var(0);
-    let sigma: Vec<AnyConstraint> = vec![
+    let sigma: Vec<SigmaConstraint> = vec![
         Ged::new(
             "verified⇒real",
             q.clone(),

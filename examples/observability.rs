@@ -30,7 +30,7 @@ fn main() {
         q,
         vec![GdcLiteral::constant(Var(0), sym("weight"), Pred::Gt, 1_000)],
     );
-    let sigma: Vec<AnyConstraint> = vec![key.into(), cap.into()];
+    let sigma: Vec<SigmaConstraint> = vec![key.into(), cap.into()];
 
     let mut v = IncrementalValidator::new(g, sigma);
     println!("seeded: {}", v.seed_stats());

@@ -48,13 +48,13 @@ pub mod prelude {
     };
     pub use ged_ext::{
         disj_implies, disj_satisfiable, disj_satisfies, gdc_implies, gdc_satisfiable,
-        gdc_satisfies, DisjGed, Gdc, GdcLiteral, NormConstraint, Pred,
+        gdc_satisfies, DisjGed, Gdc, GdcLiteral, NormConstraint, Pred, SigmaConstraint,
     };
     pub use ged_graph::{
         sym, Delta, DeltaEffect, DeltaSet, Graph, GraphBuilder, NodeId, Symbol, Value,
     };
     pub use ged_obs::{CellRecorder, MatchRecorder, NoopRecorder};
-    pub use ged_pattern::{parse_pattern, MatchOptions, Pattern, Semantics, Var};
+    pub use ged_pattern::{parse_pattern, MatchOptions, MatchScratch, Pattern, Semantics, Var};
 }
 
 #[cfg(test)]

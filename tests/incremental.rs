@@ -584,7 +584,8 @@ fn batched_deltas_equal_full_for_gdc_and_disj() {
 }
 
 // ---------------------------------------------------------------------
-// Heterogeneous Σ: GED + GDC + GED∨ wrapped in `AnyConstraint`, served by
+// Heterogeneous Σ: GED + GDC + GED∨ carried by the closed `SigmaConstraint`
+// enum (statically dispatched `check`), served by
 // ONE validator instance — the same randomized harness, plus a lockstep
 // comparison of the seed-chunk sharded delta path against the sequential
 // one at several worker counts.
@@ -601,7 +602,7 @@ fn mixed_attrs() -> Vec<Symbol> {
 #[test]
 fn incremental_equals_full_on_mixed_sigma() {
     let w = ged_datagen::mixed::social_mixed(&ged_datagen::social::SocialConfig::default(), 3, 51);
-    let v: IncrementalValidator<AnyConstraint> =
+    let v: IncrementalValidator<SigmaConstraint> =
         IncrementalValidator::with_threads(w.graph, w.sigma, 2);
     assert_eq!(v.violation_count(), w.planted, "seeding finds the plants");
     drive_attrs(v, 120, 52, 1, &mixed_attrs(), 30);
@@ -614,7 +615,7 @@ fn incremental_equals_full_on_mixed_sigma() {
 #[test]
 fn mixed_sigma_sharded_delta_path_matches_sequential_step_by_step() {
     let w = ged_datagen::mixed::social_mixed(&ged_datagen::social::SocialConfig::default(), 3, 53);
-    let mut vs: Vec<IncrementalValidator<AnyConstraint>> = [1usize, 2, 8]
+    let mut vs: Vec<IncrementalValidator<SigmaConstraint>> = [1usize, 2, 8]
         .iter()
         .map(|&t| IncrementalValidator::with_threads(w.graph.clone(), w.sigma.clone(), t))
         .collect();
@@ -646,7 +647,7 @@ fn mixed_sigma_sharded_delta_path_matches_sequential_step_by_step() {
 #[test]
 fn set_threads_switches_the_mixed_delta_path_mid_stream() {
     let w = ged_datagen::mixed::social_mixed(&ged_datagen::social::SocialConfig::default(), 2, 57);
-    let mut v: IncrementalValidator<AnyConstraint> =
+    let mut v: IncrementalValidator<SigmaConstraint> =
         IncrementalValidator::with_threads(w.graph, w.sigma, 1);
     let attrs = mixed_attrs();
     let mut rng = StdRng::seed_from_u64(58);
@@ -665,6 +666,135 @@ fn set_threads_switches_the_mixed_delta_path_mid_stream() {
 }
 
 // ---------------------------------------------------------------------
+// Matcher lockstep: the CSR label-partitioned adjacency view and the
+// degree pre-filter are pure mechanics — they must never change a match
+// set. Randomized graphs are mutated through the paths that stress the
+// per-label groups (tombstoned nodes, self-loops, remove-then-re-add of
+// the same edge), then every matcher flag combination is compared
+// against the plain label-scan baseline on random patterns. A second
+// lockstep pins the Σ devirtualisation: the closed `SigmaConstraint`
+// enum and the erased `AnyConstraint` wrapper over the same rules must
+// produce identical witness sets under identical delta streams at
+// several worker counts.
+// ---------------------------------------------------------------------
+
+/// Canonical order for comparing whole match sets.
+fn canon_matches(mut ms: Vec<Vec<NodeId>>) -> Vec<Vec<NodeId>> {
+    ms.sort();
+    ms
+}
+
+#[test]
+fn csr_view_matches_flat_adjacency_on_mutated_random_graphs() {
+    use ged_datagen::random::random_pattern;
+    use ged_repro::pattern::find_all;
+
+    for seed in 0..5u64 {
+        let cfg = RandomGraphConfig {
+            n_nodes: 60,
+            n_edges: 180,
+            seed,
+            ..Default::default()
+        };
+        let mut g = random_graph(&cfg);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC5);
+        // Tombstone some nodes: their ids stay dead, their groups must
+        // vanish from every neighbor's labeled adjacency.
+        for _ in 0..6 {
+            let live: Vec<NodeId> = g.nodes().collect();
+            g.remove_node(live[rng.random_range(0..live.len())]);
+        }
+        // Self-loops: one node serving as both endpoints of a group entry.
+        let live: Vec<NodeId> = g.nodes().collect();
+        for _ in 0..5 {
+            let n = live[rng.random_range(0..live.len())];
+            g.add_edge(n, sym("loop"), n);
+        }
+        // Remove-then-re-add: the same (src, label, dst) leaves its group
+        // and comes back — the delete/insert pair must round-trip.
+        let edges: Vec<_> = g.edges().collect();
+        for _ in 0..5 {
+            let e = edges[rng.random_range(0..edges.len())];
+            if g.remove_edge(e.src, e.label, e.dst) {
+                assert!(g.add_edge(e.src, e.label, e.dst), "re-add after remove");
+            }
+        }
+        for pseed in 0..6u64 {
+            let q = random_pattern(3, &cfg, pseed);
+            let baseline = canon_matches(find_all(
+                &q,
+                &g,
+                MatchOptions {
+                    smart_order: false,
+                    adjacency_candidates: false,
+                    labeled_adjacency: false,
+                    prefilter: false,
+                    ..MatchOptions::homomorphism()
+                },
+            ));
+            for smart in [false, true] {
+                for adj in [false, true] {
+                    for lab in [false, true] {
+                        for pre in [false, true] {
+                            let opts = MatchOptions {
+                                smart_order: smart,
+                                adjacency_candidates: adj,
+                                labeled_adjacency: lab,
+                                prefilter: pre,
+                                ..MatchOptions::homomorphism()
+                            };
+                            assert_eq!(
+                                canon_matches(find_all(&q, &g, opts)),
+                                baseline,
+                                "graph seed {seed}, pattern seed {pseed}: \
+                                 smart={smart} adj={adj} lab={lab} pre={pre}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The closed `SigmaConstraint` enum (static dispatch) and the erased
+/// `AnyConstraint` wrapper (dynamic dispatch) over the *same* mixed rules
+/// stay in witness-set lockstep under an identical random delta stream —
+/// at 1, 2, and 8 workers — and both match full revalidation at the end.
+#[test]
+fn sigma_enum_and_any_constraint_stay_in_lockstep_across_thread_counts() {
+    for threads in [1usize, 2, 8] {
+        let w =
+            ged_datagen::mixed::social_mixed(&ged_datagen::social::SocialConfig::default(), 3, 91);
+        let any_sigma: Vec<AnyConstraint> =
+            w.sigma.iter().cloned().map(AnyConstraint::from).collect();
+        let mut v_enum: IncrementalValidator<SigmaConstraint> =
+            IncrementalValidator::with_threads(w.graph.clone(), w.sigma, threads);
+        let mut v_any: IncrementalValidator<AnyConstraint> =
+            IncrementalValidator::with_threads(w.graph, any_sigma, threads);
+        assert_eq!(
+            witness_set(&v_enum.report()),
+            witness_set(&v_any.report()),
+            "seeding diverged at {threads} workers"
+        );
+        let attrs = mixed_attrs();
+        let mut rng = StdRng::seed_from_u64(91 + threads as u64);
+        for step in 0..40 {
+            let d = random_delta(v_enum.graph(), &mut rng, &attrs, 30);
+            v_enum.apply(&d);
+            v_any.apply(&d);
+            assert_eq!(
+                witness_set(&v_enum.report()),
+                witness_set(&v_any.report()),
+                "enum and dyn diverged at step {step}, {threads} workers"
+            );
+        }
+        assert_matches_full(&v_enum, 40);
+        assert_matches_full(&v_any, 40);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Observability: counter determinism under sharding, histogram
 // monotonicity across batches.
 // ---------------------------------------------------------------------
@@ -677,7 +807,7 @@ fn set_threads_switches_the_mixed_delta_path_mid_stream() {
 #[test]
 fn metrics_counters_identical_sequential_vs_sharded() {
     let w = ged_datagen::mixed::social_mixed(&ged_datagen::social::SocialConfig::default(), 3, 61);
-    let mut vs: Vec<IncrementalValidator<AnyConstraint>> = [1usize, 2, 8]
+    let mut vs: Vec<IncrementalValidator<SigmaConstraint>> = [1usize, 2, 8]
         .iter()
         .map(|&t| IncrementalValidator::with_threads(w.graph.clone(), w.sigma.clone(), t))
         .collect();
@@ -817,7 +947,7 @@ fn acceptance_gdc_10k_nodes_1k_deltas_every_step() {
 
 /// The mixed-Σ acceptance-scale scenario: a ~10k-node social graph under
 /// one heterogeneous rule set (GED + GDC + GED∨ in a single
-/// `IncrementalValidator<AnyConstraint>`), 1k random deltas, incremental
+/// `IncrementalValidator<SigmaConstraint>`), 1k random deltas, incremental
 /// equals full at every step. Run with
 /// `cargo test --release --test incremental -- --ignored`.
 #[test]
@@ -829,7 +959,7 @@ fn acceptance_mixed_10k_nodes_1k_deltas_every_step() {
     };
     let w = ged_datagen::mixed::social_mixed(&cfg, 20, 55);
     assert!(w.graph.node_count() >= 9_600, "acceptance scale");
-    let v: IncrementalValidator<AnyConstraint> = IncrementalValidator::new(w.graph, w.sigma);
+    let v: IncrementalValidator<SigmaConstraint> = IncrementalValidator::new(w.graph, w.sigma);
     let v = drive_attrs(v, 1_000, 56, 1, &mixed_attrs(), 30);
     write_metrics_snapshot(&v, "METRICS_10K_MIXED.json");
 }
