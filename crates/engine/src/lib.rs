@@ -40,6 +40,14 @@
 //!   wildcard rule parallelises. Construction
 //!   ([`IncrementalValidator::with_threads`]) seeds through the same
 //!   queue, so cold-start cost scales with cores, not with the skew of Σ.
+//! * [`view`] — **snapshot-isolated read views**: `apply` takes
+//!   `&mut self`, but violation queries need not serialize against it —
+//!   [`IncrementalValidator::read_view`] hands out cloneable
+//!   `Send + Sync` [`ReadView`] handles whose queries answer against the
+//!   immutable snapshot published at the last batch boundary (an
+//!   epoch-swapped double buffer kept fresh by O(changed) changelog
+//!   replay), so many reader threads proceed concurrently with the one
+//!   writer and never observe a torn mid-batch store.
 //!
 //! The affected-area argument (see `DESIGN.md` §4 for the proof sketch):
 //! a delta can change the violation status only of matches whose image
@@ -91,12 +99,14 @@ pub mod par;
 pub mod shard;
 pub mod store;
 pub mod validator;
+pub mod view;
 
 pub use metrics::{EngineMetrics, MetricsSnapshot, Phase, PhaseSnapshot, RuleSnapshot};
 pub use par::{validate_parallel, validate_rules_parallel, violations_sharded};
 pub use shard::SeedStats;
 pub use store::ViolationStore;
 pub use validator::{AnalysisConfig, ApplyStats, DeployAnalysis, IncrementalValidator};
+pub use view::{ReadView, ViolationSnapshot};
 
 // Re-export the delta vocabulary so engine users need only one import.
 pub use ged_graph::{Delta, DeltaEffect, DeltaSet};

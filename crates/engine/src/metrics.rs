@@ -50,17 +50,22 @@ pub enum Phase {
     Reenumerate,
     /// Inserting re-derived witnesses into the store.
     StoreInsert,
+    /// Publishing the batch-boundary snapshot for the read views
+    /// (changelog replay + epoch swap; only timed while views are
+    /// active).
+    SnapshotPublish,
 }
 
 impl Phase {
     /// All phases, in pipeline order.
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 7] = [
         Phase::Seeding,
         Phase::DeltaApply,
         Phase::WitnessDrop,
         Phase::Materialize,
         Phase::Reenumerate,
         Phase::StoreInsert,
+        Phase::SnapshotPublish,
     ];
 
     /// Stable snake-ish name used by `Display` and the JSON serialisation.
@@ -72,6 +77,7 @@ impl Phase {
             Phase::Materialize => "affected-materialize",
             Phase::Reenumerate => "anchored-reenumerate",
             Phase::StoreInsert => "store-insert",
+            Phase::SnapshotPublish => "snapshot-publish",
         }
     }
 
@@ -83,6 +89,7 @@ impl Phase {
             Phase::Materialize => 3,
             Phase::Reenumerate => 4,
             Phase::StoreInsert => 5,
+            Phase::SnapshotPublish => 6,
         }
     }
 }
@@ -172,7 +179,9 @@ pub struct EngineMetrics {
     witnesses_retained: Counter,
     store_size: Gauge,
     store_slab_slots: Gauge,
-    phases: [Histogram; 6],
+    read_views: Gauge,
+    published_epoch: Gauge,
+    phases: [Histogram; 7],
     unit_latency: Histogram,
     rules: Vec<RuleMetrics>,
     trace: TraceRing<ApplyStats>,
@@ -192,6 +201,8 @@ impl EngineMetrics {
             witnesses_retained: Counter::new(),
             store_size: Gauge::new(),
             store_slab_slots: Gauge::new(),
+            read_views: Gauge::new(),
+            published_epoch: Gauge::new(),
             phases: Default::default(),
             unit_latency: Histogram::new(),
             rules: sigma
@@ -284,6 +295,21 @@ impl EngineMetrics {
         self.trace.push(stats.clone());
     }
 
+    /// Mirror the live [`ReadView`](crate::ReadView) handle count. Not
+    /// gated on the enabled flag: the gauge tracks current state (like a
+    /// thermometer, not an accumulator), so freezing it while sampling is
+    /// off would leave a wrong *current* value behind.
+    pub(crate) fn set_read_views(&self, n: u64) {
+        self.read_views.set(n);
+    }
+
+    /// Mirror the epoch of the most recently published snapshot (same
+    /// ungated gauge discipline as
+    /// [`set_read_views`](EngineMetrics::set_read_views)).
+    pub(crate) fn set_published_epoch(&self, epoch: u64) {
+        self.published_epoch.set(epoch);
+    }
+
     /// Refresh the store-level gauges.
     pub(crate) fn note_store(&self, store: &ViolationStore) {
         if !self.is_enabled() {
@@ -317,6 +343,8 @@ impl EngineMetrics {
             witnesses_retained: self.witnesses_retained.get(),
             store_size: self.store_size.get(),
             store_slab_slots: self.store_slab_slots.get(),
+            read_views: self.read_views.get(),
+            published_epoch: self.published_epoch.get(),
             phases: Phase::ALL
                 .iter()
                 .map(|&p| PhaseSnapshot {
@@ -356,6 +384,10 @@ impl Clone for EngineMetrics {
             witnesses_retained: self.witnesses_retained.clone(),
             store_size: self.store_size.clone(),
             store_slab_slots: self.store_slab_slots.clone(),
+            // The clone belongs to a different validator with its own
+            // (fresh) view set: its reader count and epoch start over.
+            read_views: Gauge::new(),
+            published_epoch: Gauge::new(),
             phases: self.phases.clone(),
             unit_latency: self.unit_latency.clone(),
             rules: self.rules.clone(),
@@ -443,6 +475,12 @@ pub struct MetricsSnapshot {
     pub store_size: u64,
     /// Current store slab length, live + free slots (gauge).
     pub store_slab_slots: u64,
+    /// Live [`ReadView`](crate::ReadView) handles right now (gauge).
+    pub read_views: u64,
+    /// Epoch of the most recently published read-view snapshot — the
+    /// number of batches published since view activation (gauge; 0 while
+    /// no view was ever created).
+    pub published_epoch: u64,
     /// Latency distribution per pipeline phase, in [`Phase::ALL`] order.
     pub phases: Vec<PhaseSnapshot>,
     /// Latency distribution of individual sharded work units.
@@ -498,6 +536,11 @@ impl MetricsSnapshot {
         s.push_str(&format!(
             "  \"store_slab_slots\": {},\n",
             self.store_slab_slots
+        ));
+        s.push_str(&format!("  \"read_views\": {},\n", self.read_views));
+        s.push_str(&format!(
+            "  \"published_epoch\": {},\n",
+            self.published_epoch
         ));
         s.push_str(&format!(
             "  \"match_attempts\": {},\n  \"matches_found\": {},\n",
@@ -591,6 +634,11 @@ impl std::fmt::Display for MetricsSnapshot {
             self.deltas_applied,
             self.store_size,
             self.store_slab_slots
+        )?;
+        writeln!(
+            f,
+            "  read views: {} live, published epoch {}",
+            self.read_views, self.published_epoch
         )?;
         writeln!(
             f,

@@ -302,6 +302,34 @@ impl ViolationStore {
         }
     }
 
+    /// Clone the live witnesses into flat per-constraint
+    /// `Match → ViolationKind` maps — the O(store) rebuild behind the
+    /// read-view snapshots (`crate::view`): paid once at view activation
+    /// (and again only when a publish could not reclaim its back buffer),
+    /// after which publishes replay O(changed) changelogs instead. The
+    /// flat shape drops the slab/inverted-index machinery on purpose:
+    /// snapshots are immutable, so they only ever need lookup and
+    /// iteration.
+    pub fn snapshot_kinds(&self) -> Vec<HashMap<Match, ViolationKind>> {
+        self.per_constraint
+            .iter()
+            .map(|map| {
+                map.iter()
+                    .map(|(m, &id)| {
+                        (
+                            m.clone(),
+                            self.slots[id]
+                                .as_ref()
+                                .expect("indexed slot is live")
+                                .kind
+                                .clone(),
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Iterate over `(constraint index, assignment, violation kind)`.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &Match, &ViolationKind)> + '_ {
         self.per_constraint
@@ -530,6 +558,31 @@ mod tests {
         assert!(
             speedup >= 10.0,
             "inverted index must beat the full scan ≥10×, got ×{speedup:.1}"
+        );
+    }
+
+    #[test]
+    fn snapshot_kinds_clones_the_live_witnesses() {
+        let mut s = ViolationStore::for_sigma(&two_rule_sigma());
+        let lit = vec![Literal::id(Var(0), Var(1))];
+        s.insert(0, vec![NodeId(0), NodeId(1)], lit.clone());
+        s.insert(1, vec![NodeId(2)], ViolationKind::Disjunction);
+        // A dropped witness must not leak into the snapshot (freed slots
+        // are skipped via the per-constraint maps).
+        s.insert(0, vec![NodeId(3), NodeId(4)], lit);
+        s.remove(0, &[NodeId(3), NodeId(4)]);
+        let maps = s.snapshot_kinds();
+        assert_eq!(maps.len(), 2);
+        assert_eq!(maps[0].len(), 1);
+        assert_eq!(maps[1].len(), 1);
+        assert_eq!(
+            maps[1].get([NodeId(2)].as_slice()),
+            Some(&ViolationKind::Disjunction)
+        );
+        assert_eq!(
+            maps.iter().map(HashMap::len).sum::<usize>(),
+            s.total(),
+            "snapshot covers exactly the live witnesses"
         );
     }
 

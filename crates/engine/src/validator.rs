@@ -46,6 +46,7 @@
 use crate::metrics::{EngineMetrics, MetricsSnapshot, Phase, WorkerShard};
 use crate::shard::{self, SeedStats, SeedUnit};
 use crate::store::ViolationStore;
+use crate::view::{ReadStore, ReadView, SharedViews, StoreChange};
 use ged_analysis::{AnalysisReport, Pruned, RuleCost};
 use ged_core::constraint::{Constraint, ViolationKind};
 use ged_core::reason::ValidationReport;
@@ -130,20 +131,62 @@ pub struct DeployAnalysis {
 /// stays consistent) and a [`ViolationStore`] that after every call equals
 /// what a from-scratch [`validate`] with no witness limit would produce.
 ///
+/// Reads can also proceed *concurrently* with the write path: a
+/// [`read_view`](IncrementalValidator::read_view) is a cloneable
+/// `Send + Sync` handle whose queries answer against the snapshot
+/// published at the last batch boundary, so any number of reader threads
+/// query while the one writer keeps applying deltas (DESIGN.md §9).
+///
 /// [`validate`]: ged_core::reason::validate
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct IncrementalValidator<C: Constraint> {
     graph: Graph,
-    sigma: Vec<C>,
+    sigma: Arc<Vec<C>>,
     store: ViolationStore,
     threads: usize,
     seed_stats: SeedStats,
-    metrics: EngineMetrics,
+    metrics: Arc<EngineMetrics>,
     analysis: Option<Arc<DeployAnalysis>>,
     /// Per-rule constant-premise pre-filters ([`shard::premise_attrs`]),
     /// extracted once at construction so the delta path never re-reads a
     /// rule's literal view.
     rule_attrs: Vec<shard::PremiseAttrs>,
+    /// The slot shared with every [`ReadView`]: front snapshot buffer,
+    /// epoch counter, reader count. Lazily activated by the first
+    /// [`read_view`](IncrementalValidator::read_view) call; until then
+    /// the delta path skips all publish work.
+    views: Arc<SharedViews>,
+    /// The writer-private back buffer of the double-buffered publish
+    /// scheme: the previously published snapshot, reclaimed via
+    /// `Arc::try_unwrap` when no reader pinned it. `None` until the
+    /// first reclaim and after a failed one (the next publish then
+    /// rebuilds O(store)).
+    back: Option<ReadStore>,
+    /// Changelog of store changes the back buffer has not seen yet —
+    /// replayed at the next publish so publishing stays O(changed).
+    lag: Vec<StoreChange>,
+}
+
+/// A cloned validator is an independent fork: it deep-copies the graph,
+/// store, and metrics registry (tallies diverge from the clone point) and
+/// starts with a *fresh, inactive* view set — [`ReadView`]s of the
+/// original keep reading the original, never the clone.
+impl<C: Constraint> Clone for IncrementalValidator<C> {
+    fn clone(&self) -> IncrementalValidator<C> {
+        IncrementalValidator {
+            graph: self.graph.clone(),
+            sigma: Arc::clone(&self.sigma),
+            store: self.store.clone(),
+            threads: self.threads,
+            seed_stats: self.seed_stats.clone(),
+            metrics: Arc::new((*self.metrics).clone()),
+            analysis: self.analysis.clone(),
+            rule_attrs: self.rule_attrs.clone(),
+            views: Arc::new(SharedViews::new()),
+            back: None,
+            lag: Vec::new(),
+        }
+    }
 }
 
 impl<C: Constraint> IncrementalValidator<C> {
@@ -275,13 +318,16 @@ impl<C: Constraint> IncrementalValidator<C> {
         };
         IncrementalValidator {
             graph,
-            sigma,
+            sigma: Arc::new(sigma),
             store,
             threads,
             seed_stats,
-            metrics,
+            metrics: Arc::new(metrics),
             analysis: None,
             rule_attrs,
+            views: Arc::new(SharedViews::new()),
+            back: None,
+            lag: Vec::new(),
         }
     }
 
@@ -431,6 +477,62 @@ impl<C: Constraint> IncrementalValidator<C> {
         self.store.to_report(&self.sigma)
     }
 
+    /// Create a snapshot-isolated read view: a cloneable `Send + Sync`
+    /// handle whose queries (`violations()`, `to_report()`, `metrics()` —
+    /// all `&self`) answer against the snapshot published at the last
+    /// batch boundary. Hand clones to as many reader threads as needed
+    /// while the single writer keeps calling
+    /// [`apply`](IncrementalValidator::apply) /
+    /// [`apply_all`](IncrementalValidator::apply_all) — readers never
+    /// block the writer and never observe a torn mid-batch store.
+    ///
+    /// The first call activates publishing: it pays one O(store) snapshot
+    /// build, and from then on `maintain` publishes an updated snapshot
+    /// after every batch (O(changed) via the changelog double buffer;
+    /// timed as [`Phase::SnapshotPublish`]). A validator no view was ever
+    /// taken of does no publish work at all.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ged_core::{Ged, Literal};
+    /// use ged_engine::{Delta, IncrementalValidator};
+    /// use ged_graph::{sym, Graph, Value};
+    /// use ged_pattern::{parse_pattern, Var};
+    ///
+    /// let q = parse_pattern("t(x); t(y)").unwrap();
+    /// let key = Ged::new(
+    ///     "key",
+    ///     q,
+    ///     vec![Literal::vars(Var(0), sym("k"), Var(1), sym("k"))],
+    ///     vec![Literal::id(Var(0), Var(1))],
+    /// );
+    /// let mut g = Graph::new();
+    /// let a = g.add_node(sym("t"));
+    /// let b = g.add_node(sym("t"));
+    /// g.set_attr(a, sym("k"), 1);
+    ///
+    /// let mut v = IncrementalValidator::new(g, vec![key]);
+    /// let view = v.read_view();
+    /// assert!(view.is_satisfied());
+    ///
+    /// // A reader thread could hold `view.clone()` here. The writer
+    /// // keeps applying; each batch publishes a new epoch.
+    /// v.apply(&Delta::SetAttr { node: b, attr: sym("k"), value: Value::from(1) });
+    /// assert_eq!(view.epoch(), 1);
+    /// assert_eq!(view.violation_count(), 2);
+    /// ```
+    pub fn read_view(&self) -> ReadView<C> {
+        self.views
+            .activate_with(|| ReadStore::from_store(&self.store, self.views.epoch()));
+        self.metrics.set_published_epoch(self.views.epoch());
+        ReadView::register(
+            Arc::clone(&self.sigma),
+            Arc::clone(&self.views),
+            Arc::clone(&self.metrics),
+        )
+    }
+
     /// Apply one delta and maintain the store.
     ///
     /// The returned [`ApplyStats`] classify the churn against the
@@ -515,8 +617,11 @@ impl<C: Constraint> IncrementalValidator<C> {
             return stats;
         }
         // If anything below unwinds, dump the recent batch trace so the
-        // panic report carries the apply history that led up to it.
-        let _trace_dump = self.metrics.dump_trace_on_panic();
+        // panic report carries the apply history that led up to it. The
+        // guard borrows a local clone of the registry handle so `self`
+        // stays free for the publish step.
+        let metrics = Arc::clone(&self.metrics);
+        let _trace_dump = metrics.dump_trace_on_panic();
 
         // Drop while `touched` still holds removed ids, so witnesses of
         // dead nodes (and of edges whose endpoints these are) go too. The
@@ -525,6 +630,21 @@ impl<C: Constraint> IncrementalValidator<C> {
         let dropped = self.store.drop_intersecting(&touched);
         self.metrics.finish(Phase::WitnessDrop, t);
         let pruned = self.store.total();
+
+        // While read views are active, every store change is also logged
+        // so the publish step can bring the snapshot buffers up to date
+        // by O(changed) replay. Drops first, then the re-derived
+        // witnesses: a retained witness nets out to an upsert.
+        let views_active = self.views.is_active();
+        let mut changes: Vec<StoreChange> = Vec::new();
+        if views_active {
+            changes.reserve(dropped.len());
+            changes.extend(
+                dropped
+                    .iter()
+                    .map(|(ci, m, _)| StoreChange::Remove(*ci, m.clone())),
+            );
+        }
 
         // Only live nodes seed re-enumeration (ids removed by this batch
         // have no matches to contribute).
@@ -560,6 +680,9 @@ impl<C: Constraint> IncrementalValidator<C> {
             );
             let t = self.metrics.start();
             for (ci, m, kind) in area {
+                if views_active {
+                    changes.push(StoreChange::Upsert(ci, m.clone(), kind.clone()));
+                }
                 self.store.insert(ci, m, kind);
             }
             self.metrics.finish(Phase::StoreInsert, t);
@@ -577,7 +700,54 @@ impl<C: Constraint> IncrementalValidator<C> {
         stats.violations_added = self.store.total() - pruned - stats.violations_retained;
         self.metrics
             .record_batch(&stats, dropped.len(), &self.store);
+        // The explicit publish step: fold the batch's changes into a new
+        // snapshot and swap it in, so read views advance exactly at batch
+        // boundaries — never mid-batch.
+        if views_active {
+            let t = self.metrics.start();
+            self.publish(changes);
+            self.metrics.finish(Phase::SnapshotPublish, t);
+        }
         stats
+    }
+
+    /// Publish the post-batch snapshot for the read views (the
+    /// generation-tagged double buffer of DESIGN.md §9).
+    ///
+    /// The common case is O(changed): the back buffer — the snapshot
+    /// published one batch ago, reclaimed after its swap-out — replays
+    /// the changelog it missed (`self.lag`) plus this batch's `changes`,
+    /// gets the next epoch, and is swapped in as the new front. The old
+    /// front is then reclaimed via `Arc::try_unwrap` as the next back
+    /// buffer; only when a reader still pins it does the reclaim fail,
+    /// making the *next* publish rebuild from the store (O(store)).
+    fn publish(&mut self, changes: Vec<StoreChange>) {
+        let epoch = self.views.bump_epoch();
+        let mut next = match self.back.take() {
+            Some(mut back) => {
+                back.apply(&self.lag);
+                back.apply(&changes);
+                back
+            }
+            None => ReadStore::from_store(&self.store, epoch),
+        };
+        next.epoch = epoch;
+        let old = self.views.publish(Arc::new(next));
+        self.lag.clear();
+        match Arc::try_unwrap(old) {
+            Ok(prev) => {
+                // `prev` is the state one batch behind the new front, so
+                // `changes` is exactly what it is missing.
+                self.back = Some(prev);
+                self.lag = changes;
+            }
+            Err(_) => {
+                // A reader snapshot still pins the old front: surrender
+                // the buffer and rebuild at the next publish.
+                self.back = None;
+            }
+        }
+        self.metrics.set_published_epoch(epoch);
     }
 
     /// Consume the validator, returning the graph it owns.
@@ -827,6 +997,21 @@ mod tests {
         g.set_attr(a, sym("k"), 1);
         g.set_attr(b, sym("k"), 1);
         g
+    }
+
+    /// Normalise a report for equality checks (`Violation` itself is not
+    /// `PartialEq`; kinds compare via their debug rendering).
+    fn canon_report(r: &ValidationReport) -> Vec<(String, Vec<NodeId>, String)> {
+        r.violations
+            .iter()
+            .map(|v| {
+                (
+                    v.ged_name.clone(),
+                    v.assignment.clone(),
+                    format!("{:?}", v.kind),
+                )
+            })
+            .collect()
     }
 
     fn assert_consistent<C: Constraint>(v: &IncrementalValidator<C>) {
@@ -1547,6 +1732,197 @@ mod tests {
             "applied 3 delta(s): +2/−1 witness(es), 4 retained, 5 node(s) touched, 1 created"
         );
         assert!(!stats.to_string().contains('\n'));
+    }
+
+    /// The view handle is `Send + Sync` and every query surface of the
+    /// validator reachable from a query path takes `&self` — the
+    /// compile-time half of the read-path symmetry audit (DESIGN.md §9).
+    #[test]
+    fn read_views_are_send_sync_and_queries_take_shared_refs() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::view::ReadView<Ged>>();
+        assert_send_sync::<crate::view::ViolationSnapshot<Ged>>();
+        // Every logically-read-only accessor works through a shared
+        // reference (this fails to compile if one regresses to &mut).
+        let v = IncrementalValidator::with_threads(two_dupes(), vec![key_ged()], 1);
+        let shared: &IncrementalValidator<Ged> = &v;
+        let _ = shared.graph();
+        let _ = shared.sigma();
+        let _ = shared.store();
+        let _ = shared.is_satisfied();
+        let _ = shared.violation_count();
+        let _ = shared.report();
+        let _ = shared.metrics();
+        let _ = shared.metrics_enabled();
+        let _ = shared.trace();
+        let _ = shared.seed_stats();
+        let _ = shared.threads();
+        let _ = shared.analysis();
+        let _ = shared.analyze_current();
+        let _ = shared.read_view();
+    }
+
+    /// A read view answers against the published batch boundary: the
+    /// seeded state at epoch 0, then exactly one epoch per maintained
+    /// batch, with the same report the writer-side surface produces.
+    #[test]
+    fn read_view_tracks_batch_boundaries() {
+        let mut v = IncrementalValidator::with_threads(two_dupes(), vec![key_ged()], 1);
+        let view = v.read_view();
+        assert_eq!(view.epoch(), 0, "activation snapshot is epoch 0");
+        assert_eq!(view.violation_count(), 2);
+        assert_eq!(
+            canon_report(&view.to_report()),
+            canon_report(&v.report()),
+            "view equals the writer surface at the boundary"
+        );
+
+        // Pin the pre-batch snapshot, then write.
+        let pinned = view.snapshot();
+        let b = v.graph().nodes().nth(1).unwrap();
+        v.apply(&Delta::RemoveNode { node: b });
+        assert_eq!(view.epoch(), 1, "one publish per maintained batch");
+        assert!(view.is_satisfied());
+        assert_eq!(
+            pinned.epoch(),
+            0,
+            "a held snapshot stays pinned to its boundary"
+        );
+        assert_eq!(pinned.violation_count(), 2);
+
+        // A no-op batch publishes nothing: the state did not change.
+        let a = v.graph().nodes().next().unwrap();
+        v.apply(&Delta::SetAttr {
+            node: a,
+            attr: sym("k"),
+            value: Value::from(1),
+        });
+        assert_eq!(view.epoch(), 1, "no-op deltas publish no new epoch");
+        assert_consistent(&v);
+    }
+
+    /// The double buffer reclaims the old front when nothing pins it and
+    /// falls back to an O(store) rebuild when a reader snapshot does —
+    /// both paths must produce the exact writer-side state.
+    #[test]
+    fn publish_is_correct_with_and_without_pinned_snapshots() {
+        let mut g = Graph::new();
+        let nodes: Vec<NodeId> = (0..6).map(|_| g.add_node(sym("t"))).collect();
+        let mut v = IncrementalValidator::with_threads(g, vec![key_ged()], 1);
+        let view = v.read_view();
+        let mut pinned = Vec::new();
+        for (step, &n) in nodes.iter().enumerate() {
+            // Every other batch holds the current snapshot across the
+            // apply, forcing the try_unwrap reclaim to fail.
+            if step % 2 == 0 {
+                pinned.push(view.snapshot());
+            }
+            v.apply(&Delta::SetAttr {
+                node: n,
+                attr: sym("k"),
+                value: Value::from(7),
+            });
+            assert_eq!(view.epoch(), (step + 1) as u64);
+            assert_eq!(
+                view.violation_count(),
+                v.violation_count(),
+                "published snapshot equals the writer store at step {step}"
+            );
+            let report = view.to_report();
+            assert_eq!(
+                canon_report(&report),
+                canon_report(&v.report()),
+                "step {step}"
+            );
+        }
+        // Pinned snapshots kept their boundary state: epoch k saw the
+        // store after k batches — k keyed dupes, k(k−1) witnesses.
+        for snap in &pinned {
+            let k = snap.epoch() as usize;
+            assert_eq!(snap.violation_count(), k * (k.max(1) - 1));
+        }
+        assert_consistent(&v);
+    }
+
+    /// Lazy activation: a validator nobody ever took a view of does no
+    /// publish work (no `snapshot-publish` samples, epoch stays 0), and
+    /// the first view activates it mid-stream with the current state.
+    #[test]
+    fn views_activate_lazily_mid_stream() {
+        let mut v = IncrementalValidator::with_threads(two_dupes(), vec![key_ged()], 1);
+        let a = v.graph().nodes().next().unwrap();
+        v.apply(&Delta::SetAttr {
+            node: a,
+            attr: sym("note"),
+            value: Value::from(1),
+        });
+        let m = v.metrics();
+        assert_eq!(m.phase(Phase::SnapshotPublish).unwrap().count, 0);
+        assert_eq!(m.published_epoch, 0);
+        assert_eq!(m.read_views, 0);
+
+        let view = v.read_view();
+        assert_eq!(view.epoch(), 0, "activation republishes from epoch 0");
+        assert_eq!(view.violation_count(), 2, "current state, not seed state");
+        v.apply(&Delta::SetAttr {
+            node: a,
+            attr: sym("k"),
+            value: Value::from(9),
+        });
+        let m = v.metrics();
+        assert_eq!(m.phase(Phase::SnapshotPublish).unwrap().count, 1);
+        assert_eq!(m.published_epoch, 1);
+        assert_eq!(view.violation_count(), 0);
+    }
+
+    /// The `read_views` gauge mirrors live handles through clone and
+    /// drop, and the view's `metrics()` reads the writer's registry.
+    #[test]
+    fn read_view_gauge_tracks_clones_and_drops() {
+        let v = IncrementalValidator::with_threads(two_dupes(), vec![key_ged()], 1);
+        assert_eq!(v.metrics().read_views, 0);
+        let view = v.read_view();
+        assert_eq!(v.metrics().read_views, 1);
+        let extra = view.clone();
+        assert_eq!(v.metrics().read_views, 2);
+        assert_eq!(
+            extra.metrics().read_views,
+            2,
+            "views read the writer's registry"
+        );
+        drop(view);
+        assert_eq!(v.metrics().read_views, 1);
+        drop(extra);
+        assert_eq!(v.metrics().read_views, 0);
+        // The snapshot renders the new gauges both ways.
+        let m = v.metrics();
+        assert!(m.to_string().contains("read views: 0 live"));
+        assert!(m.to_json().contains("\"read_views\": 0"));
+        assert!(m.to_json().contains("\"published_epoch\": 0"));
+    }
+
+    /// A cloned validator starts with a fresh, inactive view set: views
+    /// of the original keep reading the original, and the clone pays no
+    /// publish cost until someone takes a view of *it*.
+    #[test]
+    fn cloned_validator_does_not_share_views() {
+        let original = IncrementalValidator::with_threads(two_dupes(), vec![key_ged()], 1);
+        let view = original.read_view();
+        let mut clone = original.clone();
+        assert_eq!(clone.metrics().read_views, 0, "fresh gauge on the clone");
+        let a = clone.graph().nodes().next().unwrap();
+        clone.apply(&Delta::SetAttr {
+            node: a,
+            attr: sym("k"),
+            value: Value::from(9),
+        });
+        assert_eq!(view.epoch(), 0, "the clone's batches publish elsewhere");
+        assert_eq!(view.violation_count(), 2);
+        assert_eq!(
+            clone.metrics().phase(Phase::SnapshotPublish).unwrap().count,
+            0,
+            "inactive views on the clone: no publish work"
+        );
     }
 
     /// Empty-pattern constraints seed inline (their single empty match

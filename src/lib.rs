@@ -44,7 +44,8 @@ pub mod prelude {
     pub use ged_core::satisfy::{is_model, satisfies, satisfies_all, violations};
     pub use ged_engine::{
         validate_parallel, validate_rules_parallel, violations_sharded, AnalysisConfig, ApplyStats,
-        DeployAnalysis, IncrementalValidator, MetricsSnapshot, Phase, SeedStats, ViolationStore,
+        DeployAnalysis, IncrementalValidator, MetricsSnapshot, Phase, ReadView, SeedStats,
+        ViolationSnapshot, ViolationStore,
     };
     pub use ged_ext::{
         disj_implies, disj_satisfiable, disj_satisfies, gdc_implies, gdc_satisfiable,

@@ -1,0 +1,239 @@
+//! Snapshot isolation lockstep: every state a concurrent `ReadView`
+//! observes must equal the full-recheck state at *some* batch boundary —
+//! readers never see a torn mid-batch store, and the epoch stamped on a
+//! snapshot identifies exactly which boundary they got.
+//!
+//! The writer streams randomized delta batches (biased towards the nasty
+//! cases: node tombstones, self-loop toggles, remove-then-re-add churn)
+//! and records, after each `apply_all`, the canonical witness set of a
+//! from-scratch `validate` keyed by the epoch just published. Reader
+//! threads spin on `ReadView::snapshot` the whole time; after the join,
+//! every `(epoch, witnesses)` pair they observed must match the writer's
+//! ledger for that epoch. Run at 1, 2 and 8 concurrent readers.
+
+use ged_datagen::random::{plant_key_violations, random_graph, random_sigma, RandomGraphConfig};
+use ged_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+
+/// Canonical comparable form of a report: the witness set with kinds
+/// rendered via `Debug` (covers every constraint family).
+type Witnesses = BTreeSet<(String, Vec<NodeId>, String)>;
+
+fn witness_set(report: &ged_repro::core::ValidationReport) -> Witnesses {
+    report
+        .violations
+        .iter()
+        .map(|v| {
+            (
+                v.ged_name.clone(),
+                v.assignment.clone(),
+                format!("{:?}", v.kind),
+            )
+        })
+        .collect()
+}
+
+/// The standard evolving-graph workload from the incremental suite: a
+/// random graph with a planted key plus random rules.
+fn workload(n_nodes: usize, extra_rules: usize, seed: u64) -> (Graph, Vec<Ged>) {
+    let cfg = RandomGraphConfig {
+        n_nodes,
+        n_edges: 3 * n_nodes,
+        seed,
+        ..Default::default()
+    };
+    let mut g = random_graph(&cfg);
+    let key = plant_key_violations(&mut g, "entity", n_nodes / 20 + 1);
+    let mut sigma = vec![key];
+    sigma.extend(random_sigma(extra_rules, 3, &cfg));
+    (g, sigma)
+}
+
+/// Draw one delta against `g`, biased towards the streams the snapshot
+/// path must survive: tombstones (`RemoveNode`), self-loop toggles
+/// (`src == dst`, a one-node footprint) and re-adds (`AddNode` plus a
+/// keyed attribute write, recreating just-removed structure), with plain
+/// attribute churn filling the rest.
+fn stream_delta(g: &Graph, rng: &mut StdRng, attrs: &[Symbol]) -> Delta {
+    let live: Vec<NodeId> = g.nodes().collect();
+    let labels: Vec<Symbol> = g.labels().collect();
+    let elabels: Vec<Symbol> = {
+        let found: BTreeSet<Symbol> = g.edges().map(|e| e.label).collect();
+        if found.is_empty() {
+            vec![sym("e0")]
+        } else {
+            found.into_iter().collect()
+        }
+    };
+    let pick_node = |rng: &mut StdRng| live[rng.random_range(0..live.len())];
+    loop {
+        match rng.random_range(0..8u32) {
+            // Tombstone stream: kill a live node outright.
+            0 | 1 if live.len() > 2 => {
+                return Delta::RemoveNode {
+                    node: pick_node(rng),
+                }
+            }
+            // Self-loop stream: toggle an edge whose footprint is one node.
+            2 | 3 if !live.is_empty() => {
+                let n = pick_node(rng);
+                let label = elabels[rng.random_range(0..elabels.len())];
+                return if g.has_edge(n, label, n) {
+                    Delta::RemoveEdge {
+                        src: n,
+                        label,
+                        dst: n,
+                    }
+                } else {
+                    Delta::AddEdge {
+                        src: n,
+                        label,
+                        dst: n,
+                    }
+                };
+            }
+            // Re-add stream: new node under an existing label (a follow-up
+            // SetAttr from the churn arm below recreates keyed structure).
+            4 => {
+                return Delta::AddNode {
+                    label: labels[rng.random_range(0..labels.len())],
+                }
+            }
+            // Attribute churn over the rule vocabulary.
+            5..=7 if !live.is_empty() => {
+                return Delta::SetAttr {
+                    node: pick_node(rng),
+                    attr: attrs[rng.random_range(0..attrs.len())],
+                    value: Value::from(rng.random_range(0..4i64)),
+                }
+            }
+            _ if live.is_empty() => {
+                return Delta::AddNode {
+                    label: sym("entity"),
+                }
+            }
+            _ => continue,
+        }
+    }
+}
+
+/// Run the lockstep check with `n_readers` concurrent reader threads.
+///
+/// The writer applies `batches` batches of `batch_size` deltas while the
+/// readers spin on `snapshot()`. Dead-node deltas inside a batch are
+/// graph-level no-ops, so generating the whole batch against the
+/// pre-batch graph is safe.
+fn lockstep(n_readers: usize, batches: usize, batch_size: usize, seed: u64) {
+    let (g, sigma) = workload(90, 2, seed);
+    let mut v = IncrementalValidator::with_threads(g, sigma, 2);
+    let attrs: Vec<Symbol> = vec![sym("key"), sym("attr0"), sym("attr1")];
+
+    // Activate publishing and ledger the epoch-0 boundary before any
+    // reader starts: the activation snapshot is the current store.
+    let view = v.read_view();
+    let mut ledger: HashMap<u64, Witnesses> = HashMap::new();
+    ledger.insert(
+        view.epoch(),
+        witness_set(&validate(v.graph(), v.sigma(), None)),
+    );
+
+    let stop = AtomicBool::new(false);
+    let observed: Vec<Vec<(u64, Witnesses)>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..n_readers)
+            .map(|_| {
+                let rv = view.clone();
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut seen: Vec<(u64, Witnesses)> = Vec::new();
+                    let mut record = |rv: &ReadView<Ged>| {
+                        let snap = rv.snapshot();
+                        let pair = (snap.epoch(), witness_set(&snap.to_report()));
+                        // Only keep distinct states; the spin loop would
+                        // otherwise record the same boundary thousands of
+                        // times.
+                        if seen.last() != Some(&pair) {
+                            seen.push(pair);
+                        }
+                    };
+                    while !stop.load(Ordering::SeqCst) {
+                        record(&rv);
+                    }
+                    // One snapshot after observing the stop flag: the flag
+                    // is raised after the final publish, so this is
+                    // guaranteed to carry the last epoch.
+                    record(&rv);
+                    seen
+                })
+            })
+            .collect();
+
+        // The writer runs on this thread: stream batches, ledger each
+        // published boundary by full recheck. A batch of pure no-ops
+        // publishes nothing and leaves the epoch (and ledger) unchanged.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        for _ in 0..batches {
+            let batch: DeltaSet = (0..batch_size)
+                .map(|_| stream_delta(v.graph(), &mut rng, &attrs))
+                .collect::<Vec<Delta>>()
+                .into();
+            v.apply_all(&batch);
+            ledger.insert(
+                view.epoch(),
+                witness_set(&validate(v.graph(), v.sigma(), None)),
+            );
+        }
+        stop.store(true, Ordering::SeqCst);
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Every observed snapshot must be exactly some published boundary.
+    let mut epochs_seen: BTreeSet<u64> = BTreeSet::new();
+    for (reader, seen) in observed.iter().enumerate() {
+        assert!(
+            !seen.is_empty(),
+            "reader {reader} never completed a snapshot"
+        );
+        for (epoch, witnesses) in seen {
+            let expected = ledger
+                .get(epoch)
+                .unwrap_or_else(|| panic!("reader {reader} observed unpublished epoch {epoch}"));
+            assert_eq!(
+                witnesses, expected,
+                "reader {reader} saw a torn state at epoch {epoch}"
+            );
+            epochs_seen.insert(*epoch);
+        }
+    }
+    // The final boundary is always observable: every reader takes one
+    // snapshot after the stop flag (raised after the last publish), so at
+    // least one observed snapshot carries the last epoch.
+    let last = *ledger.keys().max().unwrap();
+    assert!(
+        epochs_seen.contains(&last),
+        "no reader observed the final epoch {last} (saw {epochs_seen:?})"
+    );
+    assert_eq!(
+        view.epoch(),
+        last,
+        "view epoch should rest at the last published boundary"
+    );
+}
+
+#[test]
+fn lockstep_one_reader() {
+    lockstep(1, 25, 8, 11);
+}
+
+#[test]
+fn lockstep_two_readers() {
+    lockstep(2, 25, 8, 12);
+}
+
+#[test]
+fn lockstep_eight_readers() {
+    lockstep(8, 25, 8, 13);
+}
