@@ -70,6 +70,7 @@ fn main() {
         ("EXP-ANALYZE", exp_analyze),
         ("EXP-OBS", exp_obs),
         ("EXP-RW", exp_rw),
+        ("EXP-DAEMON", exp_daemon),
     ];
     let filters: Vec<String> = std::env::args().skip(1).collect();
     let mut ran = 0;
@@ -1967,4 +1968,174 @@ fn exp_rw() {
              reader-free cost on {cores} cores, got ×{writer_ratio:.2}"
         );
     }
+}
+
+/// EXP-DAEMON — the whole-system layer: a real `gedd` on an ephemeral
+/// port, measured end to end over TCP against the in-process baseline.
+///
+/// Two costs, two row families in `BENCH_INC.json`:
+///
+/// * `daemon-wire-apply` — sustained delta ingestion over the wire
+///   (`incremental_us` = µs/batch via TCP apply, `full_us` = µs/batch
+///   for the same batches on a direct in-process validator with a view
+///   active; `speedup` = direct/wire, i.e. the wire tax as a ratio —
+///   expected < 1, the protocol can only add cost);
+/// * `daemon-wire-query` at 1/2/8 concurrent clients (`delta_size`
+///   carries the client count) — wire `report` latency p50 in
+///   `incremental_us` vs the in-process `snapshot().to_report()` p50 in
+///   `full_us`, with p95/p99 printed alongside.
+///
+/// Correctness is asserted the same way the e2e suite does it: after
+/// the stream, the daemon's violation count must equal the direct
+/// validator's (the two started from the deterministic same workload).
+fn exp_daemon() {
+    use ged_daemon::{spawn, DaemonConfig};
+    use ged_datagen::mixed::social_mixed;
+    use ged_engine::IncrementalValidator;
+    use ged_proto::Client;
+
+    header(
+        "EXP-DAEMON",
+        "end-to-end daemon load: wire apply throughput + query latency (mixed workload)",
+    );
+    let scfg = SocialConfig {
+        n_honest: 600,
+        ..Default::default()
+    };
+    const BATCH: usize = 200;
+    const N_BATCHES: usize = 20;
+    let w = social_mixed(&scfg, 10, 17);
+    let batches: Vec<ged_graph::DeltaSet> = attr_burst(&w.graph, sym("age"), N_BATCHES * BATCH, 30)
+        .chunks(BATCH)
+        .map(|c| c.to_vec().into())
+        .collect();
+    println!(
+        "|V|={}, Σ of {} rules, {} batches × {BATCH} deltas over TCP",
+        w.graph.node_count(),
+        w.sigma.len(),
+        batches.len(),
+    );
+    let median = |v: &mut Vec<std::time::Duration>| -> std::time::Duration {
+        v.sort();
+        v[v.len() / 2]
+    };
+    let quantile = |sorted: &[std::time::Duration], q: f64| -> std::time::Duration {
+        sorted[((sorted.len() - 1) as f64 * q) as usize]
+    };
+
+    // In-process baseline: same batches, view active (publish included),
+    // one match thread — the daemon's writer in library form.
+    let mut direct = IncrementalValidator::new(w.graph, w.sigma);
+    direct.set_threads(1);
+    let direct_view = direct.read_view();
+    let mut direct_batches: Vec<std::time::Duration> = batches
+        .iter()
+        .map(|b| {
+            let t0 = std::time::Instant::now();
+            direct.apply_all(b);
+            t0.elapsed()
+        })
+        .collect();
+    let d_direct = median(&mut direct_batches);
+    let mut direct_queries: Vec<std::time::Duration> = (0..500)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            std::hint::black_box(direct_view.snapshot().to_report());
+            t0.elapsed()
+        })
+        .collect();
+    direct_queries.sort();
+    let d_direct_q50 = quantile(&direct_queries, 0.5);
+
+    // The daemon twin (the generator is deterministic) and its writer
+    // client: stream the same batches over real TCP.
+    let w2 = social_mixed(&scfg, 10, 17);
+    let handle = spawn(w2.graph, w2.sigma, &DaemonConfig::default()).expect("spawn gedd");
+    let mut writer = Client::connect(handle.addr()).expect("connect writer");
+    let t_stream = std::time::Instant::now();
+    let mut wire_batches: Vec<std::time::Duration> = batches
+        .iter()
+        .map(|b| {
+            let t0 = std::time::Instant::now();
+            writer.apply(b.clone()).expect("wire apply");
+            t0.elapsed()
+        })
+        .collect();
+    let stream_window = t_stream.elapsed();
+    let d_wire = median(&mut wire_batches);
+    let sustained = (N_BATCHES * BATCH) as f64 / stream_window.as_secs_f64().max(1e-12);
+    let wire_tax = d_direct.as_secs_f64() / d_wire.as_secs_f64().max(1e-12);
+    println!(
+        "  apply:  {:>10} µs/batch over the wire vs {:>10} µs in-process \
+         — {sustained:>9.0} deltas/s sustained",
+        us(d_wire),
+        us(d_direct),
+    );
+    assert_eq!(
+        writer.is_satisfied().expect("wire query").2 as usize,
+        direct.violation_count(),
+        "daemon and direct validator must agree after the stream"
+    );
+    INC_ROWS.lock().unwrap().push(IncRow {
+        class: "daemon",
+        workload: "daemon-wire-apply",
+        delta_size: BATCH,
+        incremental_us: d_wire.as_secs_f64() * 1e6,
+        full_us: d_direct.as_secs_f64() * 1e6,
+        speedup: wire_tax,
+    });
+
+    // Query latency at 1/2/8 concurrent clients, each over its own
+    // connection against the now-idle daemon (pure read path — the
+    // apply row above carries the active-writer cost).
+    for n_clients in [1usize, 2, 8] {
+        let addr = handle.addr();
+        let mut all: Vec<std::time::Duration> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n_clients)
+                .map(|_| {
+                    s.spawn(move || {
+                        let mut c = Client::connect(addr).expect("connect reader");
+                        (0..200)
+                            .map(|_| {
+                                let t0 = std::time::Instant::now();
+                                std::hint::black_box(c.report().expect("wire report"));
+                                t0.elapsed()
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        all.sort();
+        let (p50, p95, p99) = (
+            quantile(&all, 0.5),
+            quantile(&all, 0.95),
+            quantile(&all, 0.99),
+        );
+        println!(
+            "  query:  {n_clients} client(s): p50 {:>8} p95 {:>8} p99 {:>8} \
+             (in-process p50 {:>8})",
+            us(p50),
+            us(p95),
+            us(p99),
+            us(d_direct_q50),
+        );
+        INC_ROWS.lock().unwrap().push(IncRow {
+            class: "daemon",
+            workload: "daemon-wire-query",
+            delta_size: n_clients,
+            incremental_us: p50.as_secs_f64() * 1e6,
+            full_us: d_direct_q50.as_secs_f64() * 1e6,
+            speedup: d_direct_q50.as_secs_f64() / p50.as_secs_f64().max(1e-12),
+        });
+    }
+
+    let final_epoch = handle.stop();
+    handle.join();
+    println!("  shutdown: drained at epoch {final_epoch}");
+    write_bench_inc_json();
 }

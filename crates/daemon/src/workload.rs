@@ -1,0 +1,135 @@
+//! Workload specs: how `gedd` gets its Σ and initial graph.
+//!
+//! A spec is `family` or `family:key=value,key=value,...` — compact
+//! enough for a CLI flag, deterministic via explicit seeds, and built
+//! entirely from `ged-datagen` so the daemon's startup state is the
+//! same as the test suites':
+//!
+//! * `empty` — no nodes, no rules: a blank validator to drive entirely
+//!   over the wire (`gedctl apply`);
+//! * `mixed:honest=30,plants=2,seed=11` — the social mixed-family
+//!   workload (GED + GDC + GED∨ in one [`SigmaConstraint`] set) with
+//!   `plants` violations planted per rule;
+//! * `random:nodes=90,rules=2,seed=7` — the evolving-graph workload of
+//!   the incremental suites: a random graph with a planted key
+//!   constraint plus `rules` random GEDs.
+
+use ged_datagen::random::{plant_key_violations, random_graph, random_sigma, RandomGraphConfig};
+use ged_datagen::social::SocialConfig;
+use ged_ext::SigmaConstraint;
+use ged_graph::Graph;
+
+/// Build the `(graph, Σ)` a spec describes, or explain why the spec is
+/// unintelligible.
+pub fn load(spec: &str) -> Result<(Graph, Vec<SigmaConstraint>), String> {
+    let (family, params) = match spec.split_once(':') {
+        Some((family, params)) => (family, params),
+        None => (spec, ""),
+    };
+    let params = parse_params(params)?;
+    let get = |key: &str, default: u64| -> Result<u64, String> {
+        match params.iter().find(|(k, _)| k == key) {
+            Some((_, v)) => v
+                .parse::<u64>()
+                .map_err(|_| format!("workload param {key}={v}: not an unsigned integer")),
+            None => Ok(default),
+        }
+    };
+    let known = |allowed: &[&str]| -> Result<(), String> {
+        for (k, _) in &params {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!(
+                    "unknown {family} workload param {k:?} (expected one of {allowed:?})"
+                ));
+            }
+        }
+        Ok(())
+    };
+    match family {
+        "empty" => {
+            known(&[])?;
+            Ok((Graph::new(), Vec::new()))
+        }
+        "mixed" => {
+            known(&["honest", "plants", "seed"])?;
+            let cfg = SocialConfig {
+                n_honest: get("honest", 30)? as usize,
+                seed: get("seed", 11)?,
+                ..Default::default()
+            };
+            let w = ged_datagen::mixed::social_mixed(&cfg, get("plants", 2)? as usize, cfg.seed);
+            Ok((w.graph, w.sigma))
+        }
+        "random" => {
+            known(&["nodes", "rules", "seed"])?;
+            let n_nodes = get("nodes", 90)? as usize;
+            let cfg = RandomGraphConfig {
+                n_nodes,
+                n_edges: 3 * n_nodes,
+                seed: get("seed", 7)?,
+                ..Default::default()
+            };
+            let mut g = random_graph(&cfg);
+            let key = plant_key_violations(&mut g, "entity", n_nodes / 20 + 1);
+            let mut sigma: Vec<SigmaConstraint> = vec![key.into()];
+            sigma.extend(
+                random_sigma(get("rules", 2)? as usize, 3, &cfg)
+                    .into_iter()
+                    .map(SigmaConstraint::from),
+            );
+            Ok((g, sigma))
+        }
+        other => Err(format!(
+            "unknown workload family {other:?} (expected empty, mixed or random)"
+        )),
+    }
+}
+
+fn parse_params(params: &str) -> Result<Vec<(String, String)>, String> {
+    if params.is_empty() {
+        return Ok(Vec::new());
+    }
+    params
+        .split(',')
+        .map(|pair| {
+            pair.split_once('=')
+                .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+                .ok_or_else(|| format!("workload param {pair:?} is not key=value"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_empty() {
+        let (g, sigma) = load("empty").unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert!(sigma.is_empty());
+    }
+
+    #[test]
+    fn mixed_and_random_build_and_are_deterministic() {
+        let (g1, s1) = load("mixed:honest=10,plants=1,seed=3").unwrap();
+        let (g2, s2) = load("mixed:honest=10,plants=1,seed=3").unwrap();
+        assert!(g1.node_count() > 0);
+        assert_eq!(s1.len(), 4, "the social mixed workload has four rules");
+        assert_eq!(g1.node_count(), g2.node_count());
+        assert_eq!(s1.len(), s2.len());
+
+        let (g, sigma) = load("random:nodes=40,rules=2,seed=5").unwrap();
+        assert!(g.node_count() >= 40);
+        assert_eq!(sigma.len(), 3, "planted key + 2 random rules");
+    }
+
+    #[test]
+    fn bad_specs_explain_themselves() {
+        assert!(load("nope").unwrap_err().contains("unknown workload"));
+        assert!(load("mixed:plants=x").unwrap_err().contains("plants=x"));
+        assert!(load("mixed:warp=1").unwrap_err().contains("warp"));
+        assert!(load("random:nodes").unwrap_err().contains("key=value"));
+        assert!(load("empty:plants=1").unwrap_err().contains("plants"));
+    }
+}

@@ -533,6 +533,21 @@ impl<C: Constraint> IncrementalValidator<C> {
         )
     }
 
+    /// The epoch of the most recently published read-view snapshot: the
+    /// number of store-changing batches since [`read_view`] first
+    /// activated the views (0 before activation, and forever 0 if no
+    /// view is ever created — publishing is skipped entirely then).
+    ///
+    /// This is the writer-side twin of [`ReadView::epoch`]: a server
+    /// that owns the validator mutably can stamp apply replies with the
+    /// epoch its readers will observe, without holding a view of its
+    /// own.
+    ///
+    /// [`read_view`]: IncrementalValidator::read_view
+    pub fn published_epoch(&self) -> u64 {
+        self.views.epoch()
+    }
+
     /// Apply one delta and maintain the store.
     ///
     /// The returned [`ApplyStats`] classify the churn against the
