@@ -86,6 +86,9 @@ pub struct DaemonHandle {
     addr: SocketAddr,
     tx: mpsc::Sender<WriterMsg>,
     shutting_down: Arc<AtomicBool>,
+    /// Fallback epoch source when the writer has already exited (a wire
+    /// shutdown won the race) — mirrors the wire path's fallback.
+    view: ReadView<SigmaConstraint>,
     writer: Option<thread::JoinHandle<u64>>,
     acceptor: Option<thread::JoinHandle<()>>,
 }
@@ -101,10 +104,12 @@ impl DaemonHandle {
     /// epoch. Idempotent with a wire-side `shutdown`.
     pub fn stop(&self) -> u64 {
         let (reply_tx, reply_rx) = mpsc::channel();
+        // Either fallback arm means the writer already exited (a wire
+        // `shutdown` won the race), so the published epoch is final.
         let final_epoch = if self.tx.send(WriterMsg::Shutdown(reply_tx)).is_ok() {
-            reply_rx.recv().unwrap_or(0)
+            reply_rx.recv().unwrap_or_else(|_| self.view.epoch())
         } else {
-            0
+            self.view.epoch()
         };
         wake_acceptor(&self.shutting_down, self.addr);
         final_epoch
@@ -179,6 +184,7 @@ pub fn spawn(
         .spawn(move || writer_loop(validator, &rx))?;
 
     let shutting_down = Arc::new(AtomicBool::new(false));
+    let handle_view = view.clone();
     let ctx = ConnCtx {
         view,
         tx: tx.clone(),
@@ -196,6 +202,7 @@ pub fn spawn(
         addr,
         tx,
         shutting_down,
+        view: handle_view,
         writer: Some(writer),
         acceptor: Some(acceptor),
     })

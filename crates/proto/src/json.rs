@@ -167,6 +167,19 @@ impl Json {
         self.get(key).and_then(Json::as_arr)
     }
 
+    /// Does this document contain a NaN/Infinity float anywhere? JSON
+    /// cannot represent such values, so the frame writer
+    /// ([`crate::wire::write_frame`]) refuses to send documents for
+    /// which this is true instead of silently degrading them to `null`.
+    pub fn has_non_finite(&self) -> bool {
+        match self {
+            Json::Float(f) => !f.is_finite(),
+            Json::Arr(items) => items.iter().any(Json::has_non_finite),
+            Json::Obj(fields) => fields.iter().any(|(_, v)| v.has_non_finite()),
+            _ => false,
+        }
+    }
+
     /// Serialise onto `out` — always a single line (see module docs).
     pub fn write(&self, out: &mut String) {
         match self {
@@ -176,16 +189,23 @@ impl Json {
             Json::Int(i) => out.push_str(&i.to_string()),
             Json::Float(f) => {
                 if f.is_finite() {
-                    if f.fract() == 0.0 && f.abs() < 1e15 {
+                    if f.fract() == 0.0 {
                         // Keep the float-ness visible so the value
-                        // round-trips as a Float, not an Int.
+                        // round-trips as a Float, not an Int — for any
+                        // magnitude (Rust's Display never emits '.' or
+                        // 'e' for integral floats, so without this a
+                        // Float in [1e15, 9.2e18] would parse back as
+                        // an Int).
                         out.push_str(&format!("{f:.1}"));
                     } else {
                         out.push_str(&f.to_string());
                     }
                 } else {
                     // JSON has no NaN/Infinity literal; degrade to null
-                    // rather than emitting an unparseable frame.
+                    // rather than emitting an unparseable frame. The
+                    // frame writer ([`crate::wire::write_frame`]) rejects
+                    // such frames up front so nothing silently crosses
+                    // the wire as null — this arm only serves `Display`.
                     out.push_str("null");
                 }
             }
@@ -546,6 +566,34 @@ mod tests {
         assert_eq!(roundtrip(&v), v, "Float(2.0) must not collapse to Int");
         assert_eq!(Json::parse("2").unwrap(), Json::Int(2));
         assert_eq!(Json::parse("2e1").unwrap(), Json::Float(20.0));
+    }
+
+    #[test]
+    fn large_integral_floats_stay_floats() {
+        // Regression: the writer used to fall back to `f64::to_string`
+        // above 1e15, which never emits '.'/'e', so these round-tripped
+        // as Int.
+        for v in [
+            Json::Float(1e15),
+            Json::Float(9.2e18),
+            Json::Float(-3e16),
+            Json::Float(1e300),
+        ] {
+            let text = v.to_string();
+            assert!(
+                text.contains(['.', 'e', 'E']),
+                "{v:?} rendered as {text}: parser would classify it as Int"
+            );
+            assert_eq!(roundtrip(&v), v, "{v:?} must stay a Float");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_are_detected() {
+        assert!(Json::Float(f64::NAN).has_non_finite());
+        assert!(Json::Arr(vec![Json::Int(1), Json::Float(f64::INFINITY)]).has_non_finite());
+        assert!(Json::obj(vec![("x", Json::Float(f64::NEG_INFINITY))]).has_non_finite());
+        assert!(!Json::obj(vec![("x", Json::Float(1.5))]).has_non_finite());
     }
 
     #[test]

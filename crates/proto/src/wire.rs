@@ -50,7 +50,18 @@ impl From<io::Error> for WireError {
 }
 
 /// Serialise `frame` as one line and flush it.
+///
+/// Frames containing a NaN/Infinity float are rejected with
+/// `InvalidInput`: JSON cannot represent them, and silently sending
+/// `null` in their place would corrupt the value on the receiving side
+/// with no indication to the writer.
 pub fn write_frame(w: &mut impl Write, frame: &Json) -> io::Result<()> {
+    if frame.has_non_finite() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame contains a non-finite float (JSON has no NaN/Infinity)",
+        ));
+    }
     let mut line = String::new();
     frame.write(&mut line);
     line.push('\n');
@@ -64,47 +75,53 @@ pub fn write_frame(w: &mut impl Write, frame: &Json) -> io::Result<()> {
 /// dropped — the rest of the line was not consumed).
 pub fn read_frame(r: &mut impl BufRead, max_frame: usize) -> Result<Option<Json>, WireError> {
     let mut buf: Vec<u8> = Vec::new();
+    // Outer loop: one iteration per physical line. Blank keep-alive
+    // lines are skipped by iterating, never by recursing — a hostile
+    // stream of consecutive '\n' bytes must cost O(1) stack.
     loop {
-        let available = r.fill_buf()?;
-        if available.is_empty() {
-            // EOF: clean only at a frame boundary.
-            return if buf.is_empty() {
-                Ok(None)
-            } else {
-                Err(WireError::Truncated)
-            };
-        }
-        match available.iter().position(|b| *b == b'\n') {
-            Some(i) => {
-                buf.extend_from_slice(&available[..i]);
-                r.consume(i + 1);
-                break;
+        buf.clear();
+        loop {
+            let available = r.fill_buf()?;
+            if available.is_empty() {
+                // EOF: clean only at a frame boundary.
+                return if buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(WireError::Truncated)
+                };
             }
-            None => {
-                buf.extend_from_slice(available);
-                let n = available.len();
-                r.consume(n);
+            match available.iter().position(|b| *b == b'\n') {
+                Some(i) => {
+                    buf.extend_from_slice(&available[..i]);
+                    r.consume(i + 1);
+                    break;
+                }
+                None => {
+                    buf.extend_from_slice(available);
+                    let n = available.len();
+                    r.consume(n);
+                }
+            }
+            if buf.len() > max_frame {
+                return Err(WireError::Oversized(buf.len()));
             }
         }
         if buf.len() > max_frame {
             return Err(WireError::Oversized(buf.len()));
         }
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+        let text = std::str::from_utf8(&buf)
+            .map_err(|_| WireError::Malformed("frame is not UTF-8".to_string()))?;
+        if text.trim().is_empty() {
+            // Tolerate blank keep-alive lines between frames.
+            continue;
+        }
+        return Json::parse(text)
+            .map(Some)
+            .map_err(|e| WireError::Malformed(e.to_string()));
     }
-    if buf.len() > max_frame {
-        return Err(WireError::Oversized(buf.len()));
-    }
-    if buf.last() == Some(&b'\r') {
-        buf.pop();
-    }
-    let text = std::str::from_utf8(&buf)
-        .map_err(|_| WireError::Malformed("frame is not UTF-8".to_string()))?;
-    if text.trim().is_empty() {
-        // Tolerate blank keep-alive lines between frames.
-        return read_frame(r, max_frame);
-    }
-    Json::parse(text)
-        .map(Some)
-        .map_err(|e| WireError::Malformed(e.to_string()))
 }
 
 #[cfg(test)]
@@ -137,6 +154,15 @@ mod tests {
         assert_eq!(frames[0].as_ref().unwrap().as_ref(), Some(&a));
         assert_eq!(frames[1].as_ref().unwrap().as_ref(), Some(&b));
         assert!(matches!(frames[2], Ok(None)), "clean EOF after frames");
+    }
+
+    #[test]
+    fn non_finite_frames_are_refused_not_degraded() {
+        let mut buf: Vec<u8> = Vec::new();
+        let frame = Json::obj(vec![("value", Json::Float(f64::NAN))]);
+        let err = write_frame(&mut buf, &frame).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(buf.is_empty(), "nothing may reach the wire");
     }
 
     #[test]
@@ -174,5 +200,21 @@ mod tests {
             read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap(),
             Some(Json::Bool(true))
         );
+    }
+
+    #[test]
+    fn a_flood_of_blank_lines_costs_constant_stack() {
+        // Regression: blank-line skipping used to recurse once per line,
+        // so a hostile client could overflow the handler stack with a
+        // few hundred KB of '\n' bytes. 500k lines overflows any default
+        // stack under the recursive scheme; iteration shrugs it off.
+        let mut input = vec![b'\n'; 500_000];
+        write_frame(&mut input, &Json::Int(9)).unwrap();
+        let mut r = BufReader::new(&input[..]);
+        assert_eq!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap(),
+            Some(Json::Int(9))
+        );
+        assert!(matches!(read_frame(&mut r, DEFAULT_MAX_FRAME), Ok(None)));
     }
 }

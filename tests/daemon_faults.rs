@@ -121,6 +121,28 @@ fn malformed_frames_get_structured_errors_and_the_connection_survives() {
 }
 
 #[test]
+fn a_blank_line_flood_does_not_kill_the_daemon() {
+    // Regression: frame reading used to recurse once per blank line, so
+    // a hostile client could overflow the handler thread's stack — a
+    // process-level abort, not a dropped connection — with a few hundred
+    // KB of '\n' bytes, each line comfortably under the frame cap.
+    let (handle, mirror, sigma) =
+        daemon_with_mirror("mixed:honest=10,plants=1,seed=44", &DaemonConfig::default());
+
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    raw.write_all(&vec![b'\n'; 500_000]).unwrap();
+    // The flood is skipped in O(1) stack; the next real frame answers.
+    let mut via = Client::from_stream(raw).unwrap();
+    let health = via.health().expect("daemon must survive the flood");
+    assert_eq!(health.epoch, 0);
+
+    assert_uncorrupted(&handle, &mirror, &sigma, 0);
+    handle.stop();
+    handle.join();
+}
+
+#[test]
 fn oversized_frames_are_refused_and_the_connection_dropped() {
     let config = DaemonConfig {
         max_frame: 4096,
